@@ -1,0 +1,60 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one paper table/figure, prints it, and writes
+it under ``benchmarks/results/``. Heavy simulation runs are memoized on a
+process-wide runner, so artifacts that share a configuration (Fig. 9a,
+Fig. 10, Table 4, Fig. 12 all reuse the 95/5 heterogeneous run) only
+simulate once per session.
+
+Set ``REPRO_BENCH_SCALE=quick`` for a fast smoke pass or ``=full`` for
+the larger configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_experiment
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Quick scale is a smoke profile: artifacts are regenerated but the
+#: paper-shape assertions are skipped (steady-state shapes need the
+#: default workload sizes).
+QUICK_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default") == "quick"
+
+
+def check_shape(condition: bool, message: str = "") -> None:
+    """Assert a paper-shape property unless running the quick profile."""
+    if QUICK_SCALE:
+        return
+    assert condition, message
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a regenerated artifact and persist it to results/."""
+
+    def _report(name: str, title: str, headers, rows, notes: str = "") -> str:
+        text = format_experiment(title, headers, rows, notes=notes)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        return text
+
+    return _report
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def runner():
+    from repro.bench.experiments import shared_runner
+
+    return shared_runner()

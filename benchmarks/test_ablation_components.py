@@ -1,0 +1,34 @@
+"""Ablation — which PrismDB mechanism buys what.
+
+DESIGN.md calls out three separable mechanisms: retention pinning,
+up-compaction, and popularity-scored SST selection. This bench disables
+each in turn on the headline workload.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import ablation_components
+
+
+def test_ablation_components(benchmark, report, runner):
+    headers, rows = run_once(benchmark, ablation_components, runner)
+    report(
+        "ablation_components",
+        "Ablation: PrismDB mechanisms individually disabled (95/5, Het)",
+        headers,
+        rows,
+        notes="Full PrismDB should lead; each ablation gives back part of the gain.",
+    )
+    kops = {row[0]: float(row[1]) for row in rows}
+    full = kops["prismdb (full)"]
+    rocks = kops["rocksdb (no read-awareness)"]
+    check_shape(full > rocks, "read-awareness must beat the baseline")
+    # Every ablated variant stays within the rocksdb..full envelope
+    # (generous tolerance: mechanisms interact).
+    for label, value in kops.items():
+        if label.startswith("prismdb"):
+            check_shape(value > rocks * 0.9, label)
+    # Disabling up-compaction removes all pulls.
+    pulls = {row[0]: int(row[5]) for row in rows}
+    assert pulls["prismdb, no up-compaction"] == 0
+    check_shape(pulls["prismdb (full)"] > 0, "full variant should pull keys up")

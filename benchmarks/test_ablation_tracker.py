@@ -1,0 +1,28 @@
+"""Ablation — tracker CLOCK resolution.
+
+The paper uses 2 CLOCK bits (values 0-3): one bit captures only recency
+and cannot separate "read once" from "read repeatedly"; more bits add
+resolution at metadata cost. This bench sweeps the bit width.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import ablation_tracker_params
+
+
+def test_ablation_tracker(benchmark, report, runner):
+    headers, rows = run_once(benchmark, ablation_tracker_params, runner)
+    report(
+        "ablation_tracker",
+        "Ablation: tracker CLOCK bit width (95/5, Het)",
+        headers,
+        rows,
+        notes="Paper uses 2 bits; 1 bit degrades hot-set identification.",
+    )
+    kops = {row[0]: float(row[1]) for row in rows}
+    pins = {row[0]: int(row[3]) for row in rows}
+    # All variants still function and pin something.
+    check_shape(all(value > 0 for value in kops.values()))
+    check_shape(pins["2 clock bits (paper)"] > 0)
+    # The paper's 2-bit setting is competitive with the wider variant.
+    check_shape(kops["2 clock bits (paper)"] >= kops["3 clock bits"] * 0.9)

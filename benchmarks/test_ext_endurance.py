@@ -1,0 +1,56 @@
+"""Extension — endurance: how long do the devices last under each system?
+
+The paper's first contribution is evaluating LSM trees on heterogeneous
+storage "taking cost, performance, as well as endurance into account"
+(§1). This extension measures it directly: per-tier P/E wear during the
+headline workload and the projected device lifetime at the observed write
+rate. PrismDB's update absorption writes fewer bytes to the QLC bottom
+tier, extending the least-endurant device's life.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import shared_runner
+from repro.bench.reporting import fmt
+
+
+def endurance_rows(runner):
+    headers = ["system", "QLC write MB", "QLC wear (P/E)", "QLC life (years)",
+               "TLC write MB", "NVM write MB"]
+    rows = []
+    for system in ("rocksdb", "mutant", "prismdb"):
+        result = runner.run(system, "NNNTQ")
+        def tier_named(prefix):
+            for name in result.device_write_bytes:
+                if name.startswith(prefix):
+                    return name
+            raise KeyError(prefix)
+        qlc, tlc, nvm = tier_named("qlc"), tier_named("tlc"), tier_named("nvm")
+        life = result.device_lifetime_years[qlc]
+        rows.append([
+            system,
+            fmt(result.device_write_bytes[qlc] / 2**20),
+            f"{result.device_wear_cycles[qlc]:.3f}",
+            "inf" if life == float("inf") else fmt(life, 2),
+            fmt(result.device_write_bytes[tlc] / 2**20),
+            fmt(result.device_write_bytes[nvm] / 2**20),
+        ])
+    return headers, rows
+
+
+def test_ext_endurance(benchmark, report, runner):
+    headers, rows = run_once(benchmark, endurance_rows, runner)
+    report(
+        "ext_endurance",
+        "Extension: per-tier wear and projected QLC lifetime (95/5, Het)",
+        headers,
+        rows,
+        notes="PrismDB writes fewer bytes to the 200-cycle QLC tier, extending its life.",
+    )
+    by_system = {row[0]: row for row in rows}
+    rocks_qlc = float(by_system["rocksdb"][1])
+    prism_qlc = float(by_system["prismdb"][1])
+    check_shape(prism_qlc < rocks_qlc, "PrismDB must write less to QLC")
+    # Mutant adds migration writes on top of RocksDB's compaction writes.
+    mutant_qlc = float(by_system["mutant"][1])
+    check_shape(mutant_qlc >= rocks_qlc, "Mutant's migrations add QLC writes")

@@ -1,0 +1,28 @@
+"""Extension — read latency decomposed by serving source.
+
+Makes the placement mechanism visible: the read-latency distribution is
+a mixture over (memtable, L0..L4) sources, each priced by its tier.
+PrismDB shifts probability mass from the L3/L4 rows into the NVM rows.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import ext_latency_breakdown
+
+
+def test_ext_latency_breakdown(benchmark, report, runner):
+    headers, rows = run_once(benchmark, ext_latency_breakdown, runner)
+    report(
+        "ext_latency_breakdown",
+        "Extension: read latency by serving source (95/5, Het)",
+        headers,
+        rows,
+        notes="PrismDB moves read mass from L3/L4 rows to memtable/L0-L2 rows.",
+    )
+    shares = {row[0]: (float(row[1].rstrip("%")), float(row[3].rstrip("%"))) for row in rows}
+    rocks_deep = shares["L3"][0] + shares["L4"][0]
+    prism_deep = shares["L3"][1] + shares["L4"][1]
+    check_shape(prism_deep < rocks_deep, "PrismDB must serve fewer reads from deep tiers")
+    rocks_nvm = sum(shares[s][0] for s in ("L0", "L1", "L2"))
+    prism_nvm = sum(shares[s][1] for s in ("L0", "L1", "L2"))
+    check_shape(prism_nvm > rocks_nvm, "PrismDB must serve more reads from NVM levels")

@@ -1,0 +1,74 @@
+"""Extension — Mutant's migration-resistance optimization.
+
+The PrismDB evaluation disabled Mutant's migration resistance to keep
+storage sizes fixed (§6). This extension turns it on and shows the
+trade-off the Mutant paper describes: fewer migrations (less background
+I/O and fewer lock stalls) at the cost of staler placement.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.baselines.mutant import MutantDB, MutantOptions
+from repro.bench.experiments import shared_runner
+from repro.bench.harness import SystemConfig, WorkloadRunner
+from repro.bench.reporting import fmt
+from repro.workloads.ycsb import YCSBWorkload
+
+
+def resistance_rows(runner):
+    from dataclasses import replace
+
+    from repro.bench.harness import build_system
+    from repro.common.clock import SimClock
+    from repro.lsm.layout import build_layout
+    from repro.lsm.options import options_for_db_size
+
+    headers = ["resistance", "kops", "avg read (us)", "migrations", "resisted"]
+    rows = []
+    base = runner.workload_config()
+    aging = replace(base, read_proportion=0.5, update_proportion=0.5,
+                    warmup_operations=runner.scale.aging_operations)
+    settle = replace(base, warmup_operations=runner.scale.settle_operations)
+    for resistance in (0.0, 0.5, 2.0):
+        workload = YCSBWorkload(base)
+        db_bytes = workload.total_data_bytes()
+        options = options_for_db_size(
+            db_bytes, block_cache_bytes=int(db_bytes * runner.scale.cache_fraction)
+        )
+        clock = SimClock()
+        layout = build_layout("NNNTQ", options, clock)
+        db = MutantDB(
+            layout, options,
+            MutantOptions(migration_resistance=resistance),
+            clock=clock,
+        )
+        harness = WorkloadRunner(db, clients=runner.scale.clients)
+        harness.load(workload)
+        harness.warmup(YCSBWorkload(aging))
+        harness.warmup(YCSBWorkload(settle))
+        elapsed = harness.run(workload)
+        result = harness.result(f"mutant-r{resistance}", SystemConfig(system="mutant"), elapsed)
+        rows.append([
+            resistance,
+            fmt(result.throughput_kops),
+            fmt(result.read_latency.mean),
+            result.migrations,
+            db.mutant_stats.migrations_resisted,
+        ])
+    return headers, rows
+
+
+def test_ext_migration_resistance(benchmark, report, runner):
+    headers, rows = run_once(benchmark, resistance_rows, runner)
+    report(
+        "ext_migration_resistance",
+        "Extension: Mutant with migration resistance enabled",
+        headers,
+        rows,
+        notes="Higher resistance -> fewer migrations (the Mutant paper's space-vs-I/O trade).",
+    )
+    migrations = {row[0]: int(row[3]) for row in rows}
+    resisted = {row[0]: int(row[4]) for row in rows}
+    check_shape(migrations[2.0] <= migrations[0.0], "resistance must cut migrations")
+    check_shape(resisted[2.0] > 0, "the resisted counter must fire")
+    assert resisted[0.0] == 0  # disabled means no resistance events

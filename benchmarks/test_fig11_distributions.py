@@ -1,0 +1,33 @@
+"""Fig. 11 — performance across request distributions.
+
+Paper shape: PrismDB outperforms RocksDB on every distribution except
+extremely skewed Zipfian (parameter >= 1.4), where the whole working set
+is DRAM-cached and PrismDB's per-read tracker update becomes pure
+overhead.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import fig11_distributions
+
+
+def test_fig11(benchmark, report, runner):
+    headers, rows = run_once(benchmark, fig11_distributions, runner)
+    report(
+        "fig11",
+        "Figure 11: throughput and p99 read latency by request distribution, Het",
+        headers,
+        rows,
+        notes="Paper shape: PrismDB wins everywhere except zipf >= 1.4 (fully cached; tracker overhead).",
+    )
+    table = {row[0]: (float(row[1]), float(row[2])) for row in rows}
+    # Moderate skew: PrismDB wins.
+    rocks, prism = table["z0.99"]
+    check_shape(prism > rocks, "")
+    # Extreme skew: the gap closes or inverts (tracker overhead regime).
+    gain_moderate = table["z0.99"][1] / table["z0.99"][0]
+    gain_extreme = table["z1.4"][1] / table["z1.4"][0]
+    check_shape(gain_extreme < gain_moderate, "")
+    # "latest" behaves like zipf 0.99 (paper's description).
+    rocks_latest, prism_latest = table["latest"]
+    check_shape(prism_latest > rocks_latest * 0.95, "")

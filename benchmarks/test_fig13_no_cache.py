@@ -1,0 +1,30 @@
+"""Fig. 13 — throughput with DRAM caching disabled.
+
+Paper shape: even with no DRAM cache and even on homogeneous TLC,
+PrismDB beats RocksDB, because keeping popular objects in upper levels
+reduces read amplification independently of caching.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import fig13_no_cache
+
+
+def test_fig13(benchmark, report, runner):
+    headers, rows = run_once(benchmark, fig13_no_cache, runner)
+    report(
+        "fig13",
+        "Figure 13: throughput with DRAM caching disabled (kops/s)",
+        headers,
+        rows,
+        notes="Paper shape: PrismDB > RocksDB even without any DRAM cache.",
+    )
+    by_config = {row[0]: (float(row[1]), float(row[2])) for row in rows}
+    rocks_het, prism_het = by_config["Het"]
+    check_shape(prism_het > rocks_het, "Het must favour PrismDB without caching")
+    # On homogeneous TLC our model shows parity rather than the paper's
+    # win: PrismDB's read-amplification saving there comes from avoided
+    # filter/index I/O, which our table-cache model (resident filters)
+    # removes for both systems. Documented in EXPERIMENTS.md.
+    rocks_tlc, prism_tlc = by_config["TLC"]
+    check_shape(prism_tlc > rocks_tlc * 0.95, "TLC should be near parity or better")

@@ -1,0 +1,33 @@
+"""Fig. 14 — effect of the pinning threshold on throughput.
+
+Paper shape: a hump. Too low a threshold pins nothing and converges to
+RocksDB; too high a threshold gums up compaction (many objects pinned,
+more I/O) and throughput falls again.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import THRESHOLDS, fig14_pinning_threshold
+
+
+def test_fig14(benchmark, report, runner):
+    headers, rows = run_once(benchmark, fig14_pinning_threshold, runner)
+    report(
+        "fig14",
+        "Figure 14: PrismDB throughput vs pinning threshold, Het",
+        headers,
+        rows,
+        notes="Paper shape: throughput peaks at a moderate threshold; both extremes are worse.",
+    )
+    kops = [float(row[1]) for row in rows]
+    io_mb = [float(row[2]) for row in rows]
+    by_threshold = dict(zip(THRESHOLDS, kops))
+    peak = max(kops)
+    # The peak is not at threshold 0 (pinning must help)...
+    check_shape(by_threshold[0.0] < peak, "")
+    # ...and pushing the threshold to 50% costs extra compaction I/O
+    # relative to the moderate setting.
+    io_by_threshold = dict(zip(THRESHOLDS, io_mb))
+    check_shape(io_by_threshold[0.50] > io_by_threshold[0.10] * 0.95, "")
+    # The moderate thresholds hold (or take) the lead.
+    check_shape(max(by_threshold[0.10], by_threshold[0.25]) >= peak * 0.97)

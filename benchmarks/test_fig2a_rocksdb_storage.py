@@ -1,0 +1,26 @@
+"""Fig. 2a — RocksDB throughput on homogeneous vs heterogeneous storage.
+
+Paper shape: NVM > TLC > QLC, and the naive heterogeneous configuration
+(LSM-het) performs only marginally better than pure QLC — it pays for
+fast storage without exploiting it.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import fig2a_rocksdb_storage
+
+
+def test_fig2a(benchmark, report, runner):
+    headers, rows = run_once(benchmark, fig2a_rocksdb_storage, runner)
+    report(
+        "fig2a",
+        "Figure 2a: RocksDB throughput by storage configuration (kops/s)",
+        headers,
+        rows,
+        notes="Paper shape: NVM > TLC > Het ~ QLC (heterogeneity wasted without read-awareness).",
+    )
+    kops = {row[0]: float(row[1]) for row in rows}
+    check_shape(kops["NVM"] > kops["TLC"] > kops["QLC"], "")
+    # LSM-het lands near QLC, far from NVM: it closes less than half of
+    # the QLC -> NVM gap.
+    check_shape(kops["Het"] < kops["QLC"] + 0.5 * (kops["NVM"] - kops["QLC"]), "")

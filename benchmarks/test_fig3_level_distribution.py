@@ -1,0 +1,29 @@
+"""Fig. 3 — distribution of writes and reads across LSM levels.
+
+Paper shape: writes spread across all levels with the deep levels
+receiving the most compaction bytes; reads concentrate in the memtable
+plus the two bottom levels.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import fig3_level_distribution
+
+
+def test_fig3(benchmark, report, runner):
+    headers, rows = run_once(benchmark, fig3_level_distribution, runner)
+    report(
+        "fig3",
+        "Figure 3: write bytes and point reads across levels (RocksDB, Het, YCSB 95/5)",
+        headers,
+        rows,
+        notes="Paper shape: deep levels dominate both compaction bytes and storage reads.",
+    )
+    write_pct = {row[0]: float(row[1].rstrip("%")) for row in rows if row[1] != "-"}
+    read_pct = {row[0]: float(row[2].rstrip("%")) for row in rows}
+    # The two bottom levels receive the majority of compaction bytes...
+    check_shape(write_pct["L3"] + write_pct["L4"] > 40.0, "")
+    # ...and serve more storage reads than the mid levels.
+    check_shape(read_pct["L3"] + read_pct["L4"] > read_pct["L1"] + read_pct["L2"], "")
+    # The memtable serves a meaningful share (the hottest keys).
+    check_shape(read_pct["memtable"] > 10.0, "")

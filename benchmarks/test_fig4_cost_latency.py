@@ -1,0 +1,33 @@
+"""Fig. 4 — cost vs read latency for all 3^5 tier assignments.
+
+Paper shape: homogeneous configurations sit at the extremes (NNNNN fast
+and expensive, QQQQQ slow and cheap); the Pareto frontier is traced by
+configurations whose upper levels use equal-or-faster technology than
+their lower levels, and NNNTQ (the paper's default) is on it.
+"""
+
+from conftest import run_once
+
+from repro.analysis import enumerate_configs, pareto_frontier
+from repro.bench.experiments import fig4_cost_latency
+
+
+def test_fig4(benchmark, report):
+    headers, rows = run_once(benchmark, fig4_cost_latency)
+    frontier_rows = [row for row in rows if row[3] == "*"]
+    report(
+        "fig4",
+        "Figure 4: cost vs average read latency, all 243 configurations "
+        f"({len(frontier_rows)} on the Pareto frontier)",
+        headers,
+        rows,
+        notes="Paper shape: NNNNN fastest/most expensive, QQQQQ cheapest/slowest, NNNTQ on the frontier.",
+    )
+    evaluations = {e.code: e for e in enumerate_configs()}
+    frontier = {e.code for e in pareto_frontier(list(evaluations.values()))}
+    assert {"NNNNN", "QQQQQ", "NNNTQ"} <= frontier
+    nnnnn, qqqqq, nnntq = (evaluations[c] for c in ("NNNNN", "QQQQQ", "NNNTQ"))
+    assert nnnnn.avg_read_latency_usec < nnntq.avg_read_latency_usec < qqqqq.avg_read_latency_usec
+    assert qqqqq.cost_dollars < nnntq.cost_dollars < nnnnn.cost_dollars
+    # ~15x latency spread between the homogeneous extremes (Table 1).
+    assert qqqqq.avg_read_latency_usec / nnnnn.avg_read_latency_usec > 10.0

@@ -1,0 +1,35 @@
+"""Fig. 9a — throughput of PrismDB vs RocksDB vs Mutant per storage config.
+
+Paper shape: PrismDB wins everywhere; on the heterogeneous configuration
+it beats both baselines decisively, and PrismDB-het outperforms
+homogeneous TLC (the standard deployment) while costing ~2.4x less.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import fig9a_throughput
+
+
+def test_fig9a(benchmark, report, runner):
+    headers, rows = run_once(benchmark, fig9a_throughput, runner)
+    report(
+        "fig9a",
+        "Figure 9a: throughput by system and storage configuration (kops/s)",
+        headers,
+        rows,
+        notes="Paper shape: PrismDB > RocksDB in every config; PrismDB-het > RocksDB-TLC; Mutant <= RocksDB on het.",
+    )
+    table = {row[0]: row[1:] for row in rows}
+    rocks = {name: float(cells[0]) for name, cells in table.items()}
+    prism = {name: float(cells[2]) for name, cells in table.items()}
+    mutant_het = float(table["Het"][1])
+
+    # PrismDB improves on RocksDB on the heterogeneous configuration.
+    check_shape(prism["Het"] > rocks["Het"] * 1.05, "")
+    # Hot-cold separation also helps on homogeneous setups (§6.3).
+    check_shape(prism["QLC"] > rocks["QLC"], "")
+    check_shape(prism["TLC"] > rocks["TLC"], "")
+    # Mutant does not beat PrismDB (migrations + file granularity).
+    check_shape(prism["Het"] > mutant_het, "")
+    # PrismDB-het outperforms the standard homogeneous TLC deployment.
+    check_shape(prism["Het"] > rocks["TLC"], "")

@@ -1,0 +1,32 @@
+"""Fig. 9b — throughput vs read/update ratio on heterogeneous storage.
+
+Paper shape: PrismDB leads at every mix; its edge is *smallest* at 100%
+reads because pinning happens during compactions and a read-only
+workload generates none.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import MIX_READ_PCTS, fig9b_throughput_mixes
+
+
+def test_fig9b(benchmark, report, runner):
+    headers, rows = run_once(benchmark, fig9b_throughput_mixes, runner)
+    report(
+        "fig9b",
+        "Figure 9b: throughput vs read percentage, heterogeneous config (kops/s)",
+        headers,
+        rows,
+        notes="Paper shape: PrismDB wins at every mix; smallest gain at 100% reads (no compactions).",
+    )
+    by_mix = {int(row[0]): (float(row[1]), float(row[2]), float(row[3])) for row in rows}
+    gains = {}
+    for read_pct in MIX_READ_PCTS:
+        rocks, _, prism = by_mix[read_pct]
+        gains[read_pct] = prism / rocks
+    # PrismDB never loses to RocksDB at any mix.
+    check_shape(all(gain > 0.98 for gain in gains.values()), gains)
+    # It clearly wins once writes generate compactions.
+    check_shape(gains[95] > 1.05, "")
+    # Write-bearing mixes benefit at least as much as read-only.
+    check_shape(max(gains[50], gains[80], gains[95]) >= gains[100])

@@ -1,0 +1,23 @@
+"""Table 1 — lifetime, cost and latency of the storage technologies."""
+
+from conftest import run_once
+
+from repro.bench.experiments import table1_devices
+from repro.storage import NVM_SPEC, QLC_SPEC, TLC_SPEC, fio_random_read_latency
+
+
+def test_table1(benchmark, report):
+    headers, rows = run_once(benchmark, table1_devices)
+    report(
+        "table1",
+        "Table 1: storage technology characteristics (model parameters)",
+        headers,
+        rows,
+        notes="Paper: reads 26/195/391 us; writes 121/216/456 us; cost $1.3/$0.4/$0.1.",
+    )
+    # The modeled fio numbers must match the paper's measurements.
+    assert abs(fio_random_read_latency(NVM_SPEC) - 26.0) < 1.0
+    assert abs(fio_random_read_latency(TLC_SPEC) - 195.0) < 2.0
+    assert abs(fio_random_read_latency(QLC_SPEC) - 391.0) < 4.0
+    assert NVM_SPEC.pe_cycles > TLC_SPEC.pe_cycles > QLC_SPEC.pe_cycles
+    assert NVM_SPEC.cost_per_gb > TLC_SPEC.cost_per_gb > QLC_SPEC.cost_per_gb

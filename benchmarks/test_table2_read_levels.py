@@ -1,0 +1,29 @@
+"""Table 2 — point-read distribution across levels, block cache disabled.
+
+Paper: Memtable 25%, L0 3%, L1 2%, L2 5%, L3 16%, L4 49% — i.e. roughly
+two thirds of point reads are served from the two slowest levels, which
+is why mapping levels to tiers without read-awareness buys so little.
+"""
+
+from conftest import check_shape, run_once
+
+from repro.bench.experiments import table2_read_levels
+
+
+def test_table2(benchmark, report, runner):
+    headers, rows = run_once(benchmark, table2_read_levels, runner)
+    report(
+        "table2",
+        "Table 2: point reads by level, cache disabled (RocksDB, Het)",
+        headers,
+        rows,
+        notes="Paper: 25% / 3% / 2% / 5% / 16% / 49% — deep levels serve ~65%.",
+    )
+    values = {name: float(cell.rstrip("%")) for name, cell in zip(headers, rows[0])}
+    # Deep levels together serve more reads than any other source.
+    check_shape(values["L3"] + values["L4"] > 35.0, "")
+    # The memtable captures the very hottest keys.
+    check_shape(values["Memtable"] > 10.0, "")
+    # Mid levels are small contributors, as in the paper.
+    check_shape(values["L1"] < values["L4"], "")
+    check_shape(values["L2"] < values["L3"] + values["L4"], "")

@@ -1,0 +1,24 @@
+"""Table 3 — storage cost of the four named configurations."""
+
+from conftest import run_once
+
+from repro.analysis import table3_costs
+from repro.bench.experiments import table3_storage_costs
+
+
+def test_table3(benchmark, report):
+    headers, rows = run_once(benchmark, table3_storage_costs)
+    report(
+        "table3",
+        "Table 3: storage cost, 223 GB database, 3-year lifetime",
+        headers,
+        rows,
+        notes="Paper: QQQQQ=$22, NNNTQ=$37, TTTTT=$89, NNNNN=$289.",
+    )
+    costs = table3_costs()
+    paper = {"QQQQQ": 22.0, "NNNTQ": 37.0, "TTTTT": 89.0, "NNNNN": 289.0}
+    for code, expected in paper.items():
+        assert abs(costs[code] - expected) / expected < 0.10, code
+    # The headline claim: the heterogeneous default is ~2.4x cheaper than
+    # the standard all-TLC deployment.
+    assert costs["TTTTT"] / costs["NNNTQ"] > 2.0

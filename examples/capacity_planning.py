@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: capacity planning with the Fig. 4 cost model.
+
+An operator sizing a 223 GB key-value tier wants to know which mix of
+Optane / TLC / QLC meets a latency budget at the lowest cost, with every
+device provisioned to survive 3 years of the workload's write rate.
+This drives the paper's analytic model over all 243 tier assignments and
+prints the Pareto frontier plus a recommendation for a given budget.
+
+Run:  python examples/capacity_planning.py [latency_budget_usec]
+"""
+
+import sys
+
+from repro.analysis import (
+    default_level_profiles,
+    enumerate_configs,
+    pareto_frontier,
+    table3_costs,
+)
+from repro.common import MIB
+
+
+def main() -> None:
+    latency_budget = float(sys.argv[1]) if len(sys.argv) > 1 else 310.0
+
+    profiles = default_level_profiles(total_write_rate_bps=1 * MIB)
+    evaluations = enumerate_configs(profiles)
+    frontier = pareto_frontier(evaluations)
+
+    print("Pareto frontier (latency vs cost) for a 223 GB database, 3-year lifetime:\n")
+    print(f"{'config':8s} {'avg read (us)':>14s} {'cost':>8s} {'cents/GB':>9s}")
+    for evaluation in frontier:
+        marker = " <- paper default" if evaluation.code == "NNNTQ" else ""
+        print(
+            f"{evaluation.code:8s} {evaluation.avg_read_latency_usec:14.1f} "
+            f"${evaluation.cost_dollars:7.0f} {evaluation.cost_cents_per_gb:9.1f}{marker}"
+        )
+
+    # Cheapest efficient configuration that meets the budget.
+    feasible = [e for e in frontier if e.avg_read_latency_usec <= latency_budget]
+    print(f"\nLatency budget: {latency_budget:.0f} us")
+    if feasible:
+        best = min(feasible, key=lambda e: e.cost_dollars)
+        print(
+            f"Recommendation: {best.code} — {best.avg_read_latency_usec:.0f} us average "
+            f"read at ${best.cost_dollars:.0f}"
+        )
+        for tech, provisioned in sorted(best.provisioned_bytes_by_tech.items()):
+            print(f"  {tech}: provision {provisioned / 2**30:.1f} GiB")
+    else:
+        print("No configuration meets that budget; fastest is NNNNN.")
+
+    print("\nTable 3 reference points:")
+    for code, cost in table3_costs().items():
+        print(f"  {code}: ${cost:.0f}")
+
+
+if __name__ == "__main__":
+    main()

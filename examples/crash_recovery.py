@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scenario: durability — crash, recover, restart.
+
+Shows the engine's durability machinery: the WAL protecting unflushed
+writes through a power loss, and the MANIFEST version-edit log enabling
+a full process restart that rebuilds the level structure from storage.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import LsmDB, options_for_db_size
+
+N_KEYS = 8_000
+
+
+def main() -> None:
+    options = options_for_db_size(N_KEYS * 130)
+    db = LsmDB.create("NNNTQ", options)
+
+    print("Loading", N_KEYS, "records...")
+    for i in range(N_KEYS):
+        result = db.put(f"user{i:09d}".encode(), b"v" * 100)
+        db.clock.advance(result.latency_usec)
+    db.flush()
+
+    # Some fresh writes that have NOT been flushed: they live only in
+    # the memtable and the WAL.
+    db.put(b"hot-key-1", b"unflushed-1")
+    db.put(b"hot-key-2", b"unflushed-2")
+    print("memtable holds", len(db._memtable), "unflushed records")
+
+    print("\n-- simulated power loss --")
+    replayed = db.simulate_crash_and_recover()
+    print(f"WAL replay restored {replayed} records")
+    print("hot-key-1:", db.get(b"hot-key-1").value)
+    print("hot-key-2:", db.get(b"hot-key-2").value)
+
+    print("\n-- full process restart (reopen) --")
+    files_before = db.manifest.file_count()
+    db2 = db.reopen()
+    print(f"manifest log rebuilt {db2.manifest.file_count()} files "
+          f"(was {files_before})")
+    print("caches start cold:", len(db2.cache), "cached blocks")
+    print("hot-key-1 after restart:", db2.get(b"hot-key-1").value)
+    spot = db2.get(b"user000004321")
+    print(f"spot check user...4321: {spot.value!r} served from {spot.served_by}")
+
+    db2.check_invariants()
+    print("\nconsistency invariants verified after recovery")
+
+    print("\nfinal state:")
+    print(db2.describe())
+
+
+if __name__ == "__main__":
+    main()

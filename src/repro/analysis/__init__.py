@@ -1,0 +1,45 @@
+"""Analytic models: the Fig. 4 cost/latency enumeration and amplification."""
+
+from repro.analysis.amplification import (
+    IOBreakdown,
+    read_amplification,
+    write_amplification,
+)
+from repro.analysis.level_model import (
+    PinReserveImpact,
+    levels_required,
+    optimal_multiplier,
+    pin_reserve_impact,
+    write_amplification_estimate,
+)
+from repro.analysis.cost_model import (
+    PAPER_DB_BYTES,
+    TABLE3_CODES,
+    ConfigEvaluation,
+    LevelProfile,
+    default_level_profiles,
+    enumerate_configs,
+    evaluate_config,
+    pareto_frontier,
+    table3_costs,
+)
+
+__all__ = [
+    "IOBreakdown",
+    "read_amplification",
+    "write_amplification",
+    "PinReserveImpact",
+    "levels_required",
+    "optimal_multiplier",
+    "pin_reserve_impact",
+    "write_amplification_estimate",
+    "PAPER_DB_BYTES",
+    "TABLE3_CODES",
+    "ConfigEvaluation",
+    "LevelProfile",
+    "default_level_profiles",
+    "enumerate_configs",
+    "evaluate_config",
+    "pareto_frontier",
+    "table3_costs",
+]

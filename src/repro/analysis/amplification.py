@@ -1,0 +1,72 @@
+"""Read/write amplification accounting (Fig. 12).
+
+Amplification factors relate device I/O to user I/O: write amplification
+is (WAL + flush + compaction + migration writes) / user bytes written;
+read amplification is device bytes read per user byte delivered. The
+helpers take raw byte counters so they work on any system's stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IOBreakdown:
+    """Raw byte counters for one run."""
+
+    user_write_bytes: int
+    user_read_bytes: int
+    wal_bytes: int = 0
+    flush_bytes: int = 0
+    compaction_read_bytes: int = 0
+    compaction_write_bytes: int = 0
+    migration_bytes: int = 0
+    foreground_read_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "user_write_bytes",
+            "user_read_bytes",
+            "wal_bytes",
+            "flush_bytes",
+            "compaction_read_bytes",
+            "compaction_write_bytes",
+            "migration_bytes",
+            "foreground_read_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_device_write_bytes(self) -> int:
+        """All bytes programmed to storage on behalf of the workload."""
+        return (
+            self.wal_bytes
+            + self.flush_bytes
+            + self.compaction_write_bytes
+            + self.migration_bytes
+        )
+
+    @property
+    def total_device_read_bytes(self) -> int:
+        """All bytes read from storage (queries + compaction + migration)."""
+        return (
+            self.foreground_read_bytes
+            + self.compaction_read_bytes
+            + self.migration_bytes
+        )
+
+
+def write_amplification(io: IOBreakdown) -> float:
+    """Device writes per user byte written (0 when nothing was written)."""
+    if io.user_write_bytes == 0:
+        return 0.0
+    return io.total_device_write_bytes / io.user_write_bytes
+
+
+def read_amplification(io: IOBreakdown) -> float:
+    """Device reads per user byte delivered (0 when nothing was read)."""
+    if io.user_read_bytes == 0:
+        return 0.0
+    return io.total_device_read_bytes / io.user_read_bytes

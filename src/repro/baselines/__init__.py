@@ -1,0 +1,6 @@
+"""Baseline systems the paper compares against: RocksDB and Mutant."""
+
+from repro.baselines.mutant import MutantDB, MutantOptions, MutantStats
+from repro.baselines.rocksdb import RocksDBLike
+
+__all__ = ["MutantDB", "MutantOptions", "MutantStats", "RocksDBLike"]

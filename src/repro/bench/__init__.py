@@ -1,0 +1,23 @@
+"""Benchmark harness: system builders, the closed-loop runner, experiments."""
+
+from repro.bench.harness import (
+    RunResult,
+    SystemConfig,
+    WorkloadRunner,
+    build_system,
+    run_experiment,
+)
+from repro.bench.replication import Replicated, run_replicated
+from repro.bench.reporting import format_experiment, format_table
+
+__all__ = [
+    "RunResult",
+    "SystemConfig",
+    "WorkloadRunner",
+    "build_system",
+    "run_experiment",
+    "Replicated",
+    "run_replicated",
+    "format_experiment",
+    "format_table",
+]

@@ -1,0 +1,67 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench table1 fig4 table3        # analytic, fast
+    python -m repro.bench fig9a                     # runs simulations
+    REPRO_BENCH_SCALE=quick python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import experiments as exp
+from repro.bench.reporting import format_experiment
+
+#: name -> (title, callable, needs_runner)
+EXPERIMENTS = {
+    "table1": ("Table 1: storage technology characteristics", exp.table1_devices, False),
+    "fig2a": ("Figure 2a: RocksDB throughput by storage configuration", exp.fig2a_rocksdb_storage, True),
+    "fig3": ("Figure 3: writes and reads across levels", exp.fig3_level_distribution, True),
+    "table2": ("Table 2: point reads by level, cache disabled", exp.table2_read_levels, True),
+    "fig4": ("Figure 4: cost vs latency, all 243 configurations", exp.fig4_cost_latency, False),
+    "table3": ("Table 3: storage costs", exp.table3_storage_costs, False),
+    "fig6": ("Figure 6: CLOCK distribution convergence", exp.fig6_clock_distribution, False),
+    "fig9a": ("Figure 9a: throughput by system and configuration", exp.fig9a_throughput, True),
+    "fig9b": ("Figure 9b: throughput vs read/update mix", exp.fig9b_throughput_mixes, True),
+    "fig10ab": ("Figure 10a/b: latency percentiles", exp.fig10ab_latencies, True),
+    "fig10cd": ("Figure 10c/d: average latencies vs mix", exp.fig10cd_latency_mixes, True),
+    "fig11": ("Figure 11: request distributions", exp.fig11_distributions, True),
+    "table4": ("Table 4: block cache hit rates", exp.table4_hit_rates, True),
+    "fig12": ("Figure 12: I/O and write amplification", exp.fig12_io_amplification, True),
+    "fig13": ("Figure 13: throughput without DRAM caching", exp.fig13_no_cache, True),
+    "fig14": ("Figure 14: pinning threshold sweep", exp.fig14_pinning_threshold, True),
+    "ablation-components": ("Ablation: PrismDB mechanisms", exp.ablation_components, True),
+    "ablation-tracker": ("Ablation: tracker CLOCK bits", exp.ablation_tracker_params, True),
+    "ext-latency-breakdown": ("Extension: read latency by serving source", exp.ext_latency_breakdown, True),
+    "ext-caching-granularity": ("Extension: block vs object caching (§3.3)", exp.ext_caching_granularity, True),
+    "ext-scan-workload": ("Extension: scan-heavy workload", exp.ext_scan_workload, True),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args == ["list"] or "-h" in args or "--help" in args:
+        print(__doc__)
+        print("Available experiments:")
+        for name, (title, _, needs_runner) in EXPERIMENTS.items():
+            kind = "simulation" if needs_runner else "analytic"
+            print(f"  {name:22s} {title} [{kind}]")
+        return 0
+    names = list(EXPERIMENTS) if args == ["all"] else args
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner = exp.shared_runner()
+    for name in names:
+        title, func, needs_runner = EXPERIMENTS[name]
+        headers, rows = func(runner) if needs_runner else func()
+        print(format_experiment(title, headers, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

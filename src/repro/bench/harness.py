@@ -1,0 +1,268 @@
+"""Experiment harness: build a system, drive a workload, collect metrics.
+
+The runner is *closed-loop with C clients* (the paper uses 8 concurrent
+YCSB clients): after each operation completes with simulated latency L,
+the global clock advances by L / C — the standard approximation that C
+independent clients keep the server continuously busy. Throughput is
+operations divided by simulated elapsed time; background compaction and
+migration I/O indirectly slow operations through the device-backlog
+queueing penalty, exactly as contention does on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.mutant import MutantDB, MutantOptions
+from repro.baselines.rocksdb import RocksDBLike
+from repro.common.clock import SimClock
+from repro.common.stats import LatencyRecorder, LatencySummary, throughput_kops
+from repro.core.prismdb import PrismDB, PrismOptions
+from repro.errors import ConfigError
+from repro.lsm.block_cache import BlockType
+from repro.lsm.db import LsmDB
+from repro.lsm.layout import build_layout
+from repro.lsm.options import DBOptions, options_for_db_size
+from repro.storage.endurance import device_lifetime_seconds
+from repro.workloads.ycsb import OpKind, YCSBConfig, YCSBWorkload
+
+#: Systems the experiments compare.
+SYSTEM_NAMES = ("rocksdb", "prismdb", "mutant")
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to instantiate one system under test."""
+
+    system: str = "rocksdb"
+    layout_code: str = "NNNTQ"
+    #: Block cache budget as a fraction of the data set (the paper uses a
+    #: 1:10 DRAM:storage ratio with 20 % of DRAM for the block cache, but
+    #: also leans on the OS page cache; this fraction stands in for both).
+    cache_fraction: float = 0.10
+    #: Disable DRAM caching entirely (Fig. 13).
+    cache_disabled: bool = False
+    #: Share of the DRAM cache budget given to an object-granularity row
+    #: cache instead of the block cache (the §3.3 granularity extension).
+    row_cache_share: float = 0.0
+    #: PrismDB pinning threshold override (Fig. 14 sweeps this).
+    pinning_threshold: float = 0.10
+    #: Tracker size as a fraction of the key space (paper: 10 %).
+    tracker_fraction: float = 0.10
+    #: Extra PrismOptions fields for ablation variants.
+    prism_overrides: dict = field(default_factory=dict)
+    clients: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEM_NAMES:
+            raise ConfigError(f"unknown system {self.system!r}")
+        if self.clients < 1:
+            raise ConfigError("clients must be >= 1")
+
+
+def build_system(config: SystemConfig, workload: YCSBWorkload) -> LsmDB:
+    """Instantiate the system under test, sized for the workload."""
+    db_bytes = workload.total_data_bytes()
+    cache_bytes = 0 if config.cache_disabled else int(db_bytes * config.cache_fraction)
+    if not 0.0 <= config.row_cache_share <= 1.0:
+        raise ConfigError(f"row_cache_share out of range: {config.row_cache_share}")
+    row_bytes = int(cache_bytes * config.row_cache_share)
+    options = options_for_db_size(
+        db_bytes,
+        block_cache_bytes=cache_bytes - row_bytes,
+        row_cache_bytes=row_bytes,
+        seed=config.seed,
+    )
+    clock = SimClock()
+    layout = build_layout(config.layout_code, options, clock)
+    if config.system == "rocksdb":
+        return RocksDBLike(layout, options, clock=clock)
+    if config.system == "mutant":
+        return MutantDB(layout, options, MutantOptions(), clock=clock)
+    prism = PrismOptions(
+        tracker_capacity=max(1, int(workload.config.record_count * config.tracker_fraction)),
+        pinning_threshold=config.pinning_threshold,
+        **config.prism_overrides,
+    )
+    return PrismDB(layout, options, prism, clock=clock)
+
+
+@dataclass
+class RunResult:
+    """Metrics from one workload run against one system."""
+
+    label: str
+    system: str
+    layout_code: str
+    operations: int
+    elapsed_usec: float
+    throughput_kops: float
+    read_latency: LatencySummary
+    update_latency: LatencySummary
+    reads_by_source: dict[str, int] = field(default_factory=dict)
+    read_latency_by_source: dict[str, LatencySummary] = field(default_factory=dict)
+    cache_hit_rate: float = 0.0
+    cache_hit_rate_data: float = 0.0
+    compactions: int = 0
+    compaction_read_bytes: int = 0
+    compaction_write_bytes: int = 0
+    flush_bytes: int = 0
+    wal_bytes: int = 0
+    user_write_bytes: int = 0
+    write_amplification: float = 0.0
+    per_level_write_bytes: dict[int, int] = field(default_factory=dict)
+    pinned_records: int = 0
+    pulled_up_records: int = 0
+    migrations: int = 0
+    migration_bytes: int = 0
+    device_read_bytes: dict[str, int] = field(default_factory=dict)
+    device_write_bytes: dict[str, int] = field(default_factory=dict)
+    #: Full-capacity P/E cycles consumed per tier during the whole run.
+    device_wear_cycles: dict[str, float] = field(default_factory=dict)
+    #: Projected device lifetime in years at the run's observed write
+    #: rate (the paper's 3-year provisioning criterion, measured).
+    device_lifetime_years: dict[str, float] = field(default_factory=dict)
+    storage_cost_dollars: float = 0.0
+
+    @property
+    def total_io_read_bytes(self) -> int:
+        return sum(self.device_read_bytes.values())
+
+    @property
+    def total_io_write_bytes(self) -> int:
+        return sum(self.device_write_bytes.values())
+
+
+class WorkloadRunner:
+    """Drives load and run phases against one database instance."""
+
+    def __init__(self, db: LsmDB, *, clients: int = 8) -> None:
+        if clients < 1:
+            raise ConfigError("clients must be >= 1")
+        self.db = db
+        self.clients = clients
+        self.read_latency = LatencyRecorder()
+        self.update_latency = LatencyRecorder()
+        #: Read latencies bucketed by the source that served the read
+        #: ("memtable", "L0".."L4", "miss"): where does the tail live?
+        self.read_latency_by_source: dict[str, LatencyRecorder] = {}
+        self._ops_run = 0
+
+    def load(self, workload: YCSBWorkload) -> float:
+        """Load phase; returns simulated elapsed usec."""
+        start = self.db.clock.now
+        for request in workload.load_stream():
+            result = self.db.put(request.key, request.value)
+            self.db.clock.advance(result.latency_usec / self.clients)
+        self.db.flush()
+        return self.db.clock.now - start
+
+    def warmup(self, workload: YCSBWorkload) -> float:
+        """Unmeasured warm-up traffic; returns simulated elapsed usec."""
+        start = self.db.clock.now
+        for request in workload.warmup_stream():
+            if request.kind == OpKind.READ:
+                latency = self.db.get(request.key).latency_usec
+            elif request.kind in (OpKind.UPDATE, OpKind.INSERT):
+                latency = self.db.put(request.key, request.value).latency_usec
+            else:
+                latency = self.db.scan(request.key, request.scan_length).latency_usec
+            self.db.clock.advance(latency / self.clients)
+        return self.db.clock.now - start
+
+    def run(self, workload: YCSBWorkload) -> float:
+        """Transaction phase; returns simulated elapsed usec."""
+        start = self.db.clock.now
+        for request in workload.run_stream():
+            if request.kind == OpKind.READ:
+                result = self.db.get(request.key)
+                latency = result.latency_usec
+                self.read_latency.record(latency)
+                bucket = self.read_latency_by_source.setdefault(
+                    result.served_by, LatencyRecorder()
+                )
+                bucket.record(latency)
+            elif request.kind in (OpKind.UPDATE, OpKind.INSERT):
+                latency = self.db.put(request.key, request.value).latency_usec
+                self.update_latency.record(latency)
+            else:
+                latency = self.db.scan(request.key, request.scan_length).latency_usec
+                self.read_latency.record(latency)
+            self._ops_run += 1
+            self.db.clock.advance(latency / self.clients)
+        return self.db.clock.now - start
+
+    def result(self, label: str, config: SystemConfig, elapsed_usec: float) -> RunResult:
+        """Snapshot all metrics after :meth:`run`."""
+        db = self.db
+        compaction = db.executor.stats
+        device_reads: dict[str, int] = {}
+        device_writes: dict[str, int] = {}
+        device_wear: dict[str, float] = {}
+        device_life: dict[str, float] = {}
+        total_time_sec = max(db.clock.now / 1_000_000.0, 1e-9)
+        for tier in db.layout.tiers:
+            device_reads[tier.name] = tier.device.stats.bytes_read
+            device_writes[tier.name] = tier.device.stats.bytes_written
+            device_wear[tier.name] = tier.device.wear_cycles
+            write_rate = tier.device.stats.bytes_written / total_time_sec
+            if write_rate > 0:
+                seconds_of_life = device_lifetime_seconds(
+                    tier.spec, tier.capacity_bytes, write_rate
+                )
+                device_life[tier.name] = seconds_of_life / (365 * 86_400)
+            else:
+                device_life[tier.name] = float("inf")
+        migrations = getattr(db, "mutant_stats", None)
+        return RunResult(
+            label=label,
+            system=config.system,
+            layout_code=config.layout_code,
+            operations=self._ops_run,
+            elapsed_usec=elapsed_usec,
+            throughput_kops=throughput_kops(self._ops_run, elapsed_usec),
+            read_latency=self.read_latency.summary(),
+            update_latency=self.update_latency.summary(),
+            reads_by_source=db.stats.reads_by_source.as_dict(),
+            read_latency_by_source={
+                source: recorder.summary()
+                for source, recorder in self.read_latency_by_source.items()
+            },
+            cache_hit_rate=db.cache.stats.hit_rate(),
+            cache_hit_rate_data=db.cache.stats.hit_rate(BlockType.DATA),
+            compactions=compaction.compactions,
+            compaction_read_bytes=compaction.bytes_read,
+            compaction_write_bytes=compaction.bytes_written,
+            flush_bytes=db.stats.flush_bytes,
+            wal_bytes=db.stats.wal_bytes,
+            user_write_bytes=db.stats.user_write_bytes,
+            write_amplification=db.stats.write_amplification(compaction.bytes_written),
+            per_level_write_bytes=dict(compaction.per_level_write_bytes),
+            pinned_records=compaction.records_pinned,
+            pulled_up_records=compaction.records_pulled_up,
+            migrations=migrations.migrations if migrations else 0,
+            migration_bytes=migrations.migration_bytes if migrations else 0,
+            device_read_bytes=device_reads,
+            device_write_bytes=device_writes,
+            device_wear_cycles=device_wear,
+            device_lifetime_years=device_life,
+            storage_cost_dollars=db.layout.total_cost_dollars(),
+        )
+
+
+def run_experiment(
+    config: SystemConfig,
+    workload_config: YCSBConfig,
+    *,
+    label: str | None = None,
+) -> RunResult:
+    """Convenience wrapper: build, load, run, snapshot."""
+    workload = YCSBWorkload(workload_config)
+    db = build_system(config, workload)
+    runner = WorkloadRunner(db, clients=config.clients)
+    runner.load(workload)
+    if workload_config.warmup_operations > 0:
+        runner.warmup(workload)
+    elapsed = runner.run(workload)
+    return runner.result(label or f"{config.system}/{config.layout_code}", config, elapsed)

@@ -1,0 +1,84 @@
+"""Replicated runs: mean/spread across seeds.
+
+Single simulated runs are deterministic given a seed; replication across
+seeds quantifies how sensitive a comparison is to workload randomness
+(key scrambling, operation interleaving, coin flips). Useful when a
+measured gap is small enough to question.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace as dataclass_replace
+
+from repro.bench.harness import RunResult, SystemConfig, run_experiment
+from repro.errors import ConfigError
+from repro.workloads.ycsb import YCSBConfig
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """Summary of one metric across replicas."""
+
+    metric: str
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    samples: tuple[float, ...]
+
+    @property
+    def spread_fraction(self) -> float:
+        """(max - min) / mean; 0 when the metric is constant."""
+        if self.mean == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / self.mean
+
+
+def _summarize(metric: str, values: list[float]) -> Replicated:
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n if n > 1 else 0.0
+    return Replicated(
+        metric=metric,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        samples=tuple(values),
+    )
+
+
+def run_replicated(
+    config: SystemConfig,
+    workload_config: YCSBConfig,
+    *,
+    seeds: tuple[int, ...] = (1, 2, 3),
+) -> dict[str, Replicated]:
+    """Run the experiment once per seed; summarize the key metrics.
+
+    Both the workload seed and the system seed vary together so replicas
+    are fully independent. Returns summaries for throughput and the
+    read-latency mean/p99.
+    """
+    if not seeds:
+        raise ConfigError("need at least one seed")
+    results: list[RunResult] = []
+    for seed in seeds:
+        seeded_config = dataclass_replace(config, seed=seed)
+        seeded_workload = dataclass_replace(workload_config, seed=seed)
+        results.append(run_experiment(seeded_config, seeded_workload))
+    return {
+        "throughput_kops": _summarize(
+            "throughput_kops", [r.throughput_kops for r in results]
+        ),
+        "read_mean_usec": _summarize(
+            "read_mean_usec", [r.read_latency.mean for r in results]
+        ),
+        "read_p99_usec": _summarize(
+            "read_p99_usec", [r.read_latency.p99 for r in results]
+        ),
+        "write_amplification": _summarize(
+            "write_amplification", [r.write_amplification for r in results]
+        ),
+    }

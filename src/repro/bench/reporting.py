@@ -1,0 +1,42 @@
+"""Fixed-width table rendering for experiment output.
+
+Every benchmark regenerates the corresponding paper artifact as a plain
+text table, printed to stdout and optionally written under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    def line(values):
+        return "  ".join(value.ljust(width) for value, width in zip(values, widths)).rstrip()
+
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_experiment(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]], *, notes: str = "") -> str:
+    """A titled table block, ready to print or save."""
+    parts = [f"== {title} ==", format_table(headers, rows)]
+    if notes:
+        parts.append(notes)
+    return "\n".join(parts) + "\n"
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Compact numeric formatting for table cells."""
+    return f"{value:.{digits}f}"
+
+
+def pct(value: float) -> str:
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,48 @@
+"""Simulated clock.
+
+All components that need to know "what time it is" (device queues, the
+Mutant optimizer epoch, the tracker's convergence window, the workload
+runner) share one :class:`SimClock`. Time is a float in microseconds and
+only moves forward.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock (microseconds)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def advance(self, delta_usec: float) -> float:
+        """Move the clock forward by ``delta_usec`` and return the new time.
+
+        Negative deltas are rejected: simulated time never rewinds.
+        """
+        if delta_usec < 0:
+            raise ValueError(f"cannot advance clock by negative delta: {delta_usec}")
+        self._now += delta_usec
+        return self._now
+
+    def advance_to(self, timestamp_usec: float) -> float:
+        """Move the clock forward to ``timestamp_usec`` if it is in the future.
+
+        A timestamp in the past is a no-op (never an error) so that
+        independent event sources can race benignly.
+        """
+        if timestamp_usec > self._now:
+            self._now = timestamp_usec
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.1f}us)"

@@ -1,0 +1,46 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component (workload generators, the mapper's
+probabilistic pinning coin flip) takes an explicit seed or
+:class:`random.Random` instance so runs are reproducible. This module
+centralizes seed derivation so that two components seeded from the same
+root seed do not accidentally share a stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(root_seed: int, *labels: str) -> int:
+    """Derive a stable 63-bit child seed from a root seed and labels.
+
+    The derivation hashes ``root_seed`` together with the label path, so
+    ``derive_seed(s, "ycsb", "keys")`` and ``derive_seed(s, "mapper")``
+    produce independent streams that are stable across runs and platforms.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(root_seed)).encode("ascii"))
+    for label in labels:
+        h.update(b"/")
+        h.update(label.encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big") & ((1 << 63) - 1)
+
+
+def make_rng(root_seed: int, *labels: str) -> random.Random:
+    """Create a :class:`random.Random` seeded via :func:`derive_seed`."""
+    return random.Random(derive_seed(root_seed, *labels))
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash, used for key scrambling and bloom filters.
+
+    Pure-Python but cheap; chosen because it is deterministic across
+    processes (unlike :func:`hash` with string randomization).
+    """
+    acc = 0xCBF29CE484222325
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc

@@ -1,0 +1,104 @@
+"""Metric collection: latency percentiles, counters, throughput.
+
+The harness records one latency sample per operation, split by operation
+kind (read / update / insert / scan). Percentiles use the nearest-rank
+method on the sorted sample vector, matching what YCSB reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics of one latency population (microseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0)
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and computes percentile summaries."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, latency_usec: float) -> None:
+        """Add one sample. Negative latencies indicate a simulator bug."""
+        if latency_usec < 0:
+            raise ValueError(f"negative latency recorded: {latency_usec}")
+        self._samples.append(latency_usec)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        """The raw sample list (not copied; treat as read-only)."""
+        return self._samples
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile; ``pct`` in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
+        if pct == 0.0:
+            rank = 0
+        return ordered[rank]
+
+    def summary(self) -> LatencySummary:
+        """Compute count/mean/p50/p95/p99/max in one pass."""
+        if not self._samples:
+            return LatencySummary.empty()
+        ordered = sorted(self._samples)
+        n = len(ordered)
+
+        def rank(pct: float) -> float:
+            idx = max(0, min(n - 1, int(round(pct / 100.0 * n)) - 1))
+            return ordered[idx]
+
+        return LatencySummary(
+            count=n,
+            mean=sum(ordered) / n,
+            p50=rank(50.0),
+            p95=rank(95.0),
+            p99=rank(99.0),
+            maximum=ordered[-1],
+        )
+
+
+@dataclass
+class CounterSet:
+    """A bag of named monotonically increasing counters."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative: {amount}")
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+
+def throughput_kops(op_count: int, elapsed_usec: float) -> float:
+    """Operations per second, in thousands, given simulated elapsed time."""
+    if elapsed_usec <= 0:
+        return 0.0
+    return op_count / (elapsed_usec / 1_000_000.0) / 1_000.0

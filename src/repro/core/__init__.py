@@ -1,0 +1,18 @@
+"""PrismDB's contribution: tracker, mapper, placer, and the PrismDB store."""
+
+from repro.core.mapper import ClockDistributionMapper
+from repro.core.placer import LowestScorePicker, PlacerStats, ReadAwareRouter
+from repro.core.prismdb import PrismDB, PrismOptions
+from repro.core.tracker import UNTRACKED, ClockTracker, TrackerStats
+
+__all__ = [
+    "ClockDistributionMapper",
+    "LowestScorePicker",
+    "PlacerStats",
+    "ReadAwareRouter",
+    "PrismDB",
+    "PrismOptions",
+    "UNTRACKED",
+    "ClockTracker",
+    "TrackerStats",
+]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An option object or constructor argument is invalid."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-substrate failures."""
+
+
+class CapacityError(StorageError):
+    """A tier or file would exceed its configured capacity."""
+
+
+class FileLockedError(StorageError):
+    """A simulated file is locked (e.g. by a Mutant migration)."""
+
+
+class EnduranceExceededError(StorageError):
+    """A device has consumed its entire program/erase budget."""
+
+
+class CorruptionError(ReproError):
+    """A serialized structure (block, SSTable, WAL record) failed to parse."""
+
+
+class DBClosedError(ReproError):
+    """An operation was attempted on a closed database."""
+
+
+class CompactionError(ReproError):
+    """A compaction job could not be planned or executed."""

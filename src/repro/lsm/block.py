@@ -1,0 +1,96 @@
+"""Data block encoding.
+
+An SSTable's payload is a sequence of ~4 KB *data blocks*, each holding a
+run of records in internal-key order. Blocks are the unit of device I/O
+and of block-cache residency — the granularity mismatch between 4 KB
+blocks and ~100 B objects is central to the paper's caching analysis
+(§3.3), so blocks here are real serialized byte strings, not lists.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+
+from repro.errors import CorruptionError
+from repro.lsm.record import Record
+
+_COUNT = struct.Struct("<H")
+
+
+class DataBlockBuilder:
+    """Accumulates records (already in internal-key order) into one block."""
+
+    def __init__(self, target_bytes: int) -> None:
+        if target_bytes <= 0:
+            raise ValueError(f"target_bytes must be positive: {target_bytes}")
+        self.target_bytes = target_bytes
+        self._records: list[Record] = []
+        self._payload_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def estimated_bytes(self) -> int:
+        return _COUNT.size + self._payload_bytes
+
+    def add(self, record: Record) -> None:
+        if self._records:
+            prev = self._records[-1]
+            if record.internal_sort_key() <= prev.internal_sort_key():
+                raise ValueError(
+                    f"records out of order: {record.user_key!r}@{record.seqno} "
+                    f"after {prev.user_key!r}@{prev.seqno}"
+                )
+        self._records.append(record)
+        self._payload_bytes += record.encoded_size()
+
+    def is_full(self) -> bool:
+        return self.estimated_bytes >= self.target_bytes
+
+    @property
+    def first_key(self) -> bytes | None:
+        return self._records[0].user_key if self._records else None
+
+    @property
+    def last_key(self) -> bytes | None:
+        return self._records[-1].user_key if self._records else None
+
+    def finish(self) -> bytes:
+        """Serialize and reset the builder."""
+        if len(self._records) > 0xFFFF:
+            raise ValueError(f"too many records in one block: {len(self._records)}")
+        parts = [_COUNT.pack(len(self._records))]
+        parts.extend(record.encode() for record in self._records)
+        self._records = []
+        self._payload_bytes = 0
+        return b"".join(parts)
+
+
+def decode_block(buf: bytes) -> list[Record]:
+    """Parse a serialized data block back into its record list."""
+    if len(buf) < _COUNT.size:
+        raise CorruptionError("truncated data block")
+    (count,) = _COUNT.unpack_from(buf, 0)
+    records: list[Record] = []
+    offset = _COUNT.size
+    for _ in range(count):
+        record, offset = Record.decode_from(buf, offset)
+        records.append(record)
+    if offset != len(buf):
+        raise CorruptionError(f"trailing garbage in data block: {len(buf) - offset} bytes")
+    return records
+
+
+def search_block(records: list[Record], user_key: bytes) -> Record | None:
+    """Find the newest record for ``user_key`` in a decoded block.
+
+    Records are in internal order (key asc, seqno desc), so the first
+    match by user key is the newest version within the block.
+    """
+    keys = [record.user_key for record in records]
+    idx = bisect.bisect_left(keys, user_key)
+    if idx < len(records) and records[idx].user_key == user_key:
+        return records[idx]
+    return None

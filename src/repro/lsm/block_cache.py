@@ -1,0 +1,139 @@
+"""The DRAM block cache.
+
+Caches whole SST blocks (data, index, and filter) under LRU, exactly the
+granularity the paper analyzes: caching 4 KB blocks of ~100 B objects
+means a block's cache-worthiness is set by its *most popular* residents,
+which is why PrismDB's hot-cold separation raises hit rates (Table 4).
+
+Hits are charged a DRAM access; misses fall through to the loader (which
+charges device I/O) and insert the block. Per-type hit/miss counters feed
+the Table 4 reproduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.storage.device import DRAM_SPEC
+
+
+class BlockType(enum.Enum):
+    DATA = "data"
+    INDEX = "index"
+    FILTER = "filter"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, overall and per block type."""
+
+    hits: dict[BlockType, int] = field(default_factory=dict)
+    misses: dict[BlockType, int] = field(default_factory=dict)
+    insertions: int = 0
+    evictions: int = 0
+
+    def record_hit(self, block_type: BlockType) -> None:
+        self.hits[block_type] = self.hits.get(block_type, 0) + 1
+
+    def record_miss(self, block_type: BlockType) -> None:
+        self.misses[block_type] = self.misses.get(block_type, 0) + 1
+
+    def hit_rate(self, block_type: BlockType | None = None) -> float:
+        """Hit rate for one block type, or across all types when None."""
+        if block_type is None:
+            hits = sum(self.hits.values())
+            misses = sum(self.misses.values())
+        else:
+            hits = self.hits.get(block_type, 0)
+            misses = self.misses.get(block_type, 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+
+class BlockCache:
+    """Byte-capacity-bounded LRU cache over (file_id, offset) block keys.
+
+    A capacity of zero disables caching entirely (the Fig. 13 "DRAM
+    caching disabled" configuration): every lookup is a miss and nothing
+    is retained.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be non-negative: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        self._file_index: dict[int, set[tuple[int, int]]] = {}
+        self._used_bytes = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_load(
+        self,
+        file_id: int,
+        offset: int,
+        block_type: BlockType,
+        loader: Callable[[], tuple[bytes, float]],
+    ) -> tuple[bytes, float]:
+        """Return (block bytes, simulated latency).
+
+        On a hit the latency is one DRAM access for the block size; on a
+        miss it is whatever the loader charges (device I/O) and the block
+        is inserted.
+        """
+        key = (file_id, offset)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.record_hit(block_type)
+            return cached, DRAM_SPEC.read_time_usec(len(cached))
+        self.stats.record_miss(block_type)
+        data, latency = loader()
+        self._insert(key, data)
+        return data, latency
+
+    def _insert(self, key: tuple[int, int], data: bytes) -> None:
+        if self.capacity_bytes == 0 or len(data) > self.capacity_bytes:
+            return
+        if key in self._entries:
+            self._used_bytes -= len(self._entries[key])
+            self._entries.move_to_end(key)
+        self._entries[key] = data
+        self._file_index.setdefault(key[0], set()).add(key)
+        self._used_bytes += len(data)
+        self.stats.insertions += 1
+        while self._used_bytes > self.capacity_bytes:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._used_bytes -= len(evicted)
+            self._forget(evicted_key)
+            self.stats.evictions += 1
+
+    def _forget(self, key: tuple[int, int]) -> None:
+        keys = self._file_index.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._file_index[key[0]]
+
+    def invalidate_file(self, file_id: int) -> int:
+        """Drop all blocks of a deleted file; returns count removed."""
+        doomed = self._file_index.pop(file_id, set())
+        for key in doomed:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._used_bytes -= len(entry)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._file_index.clear()
+        self._used_bytes = 0

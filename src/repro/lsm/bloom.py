@@ -1,0 +1,86 @@
+"""Bloom filters for SSTables.
+
+One filter per SSTable (as in the paper's description of RocksDB's read
+path): before paying device I/O for an index or data block, the read path
+consults the filter and skips files that definitely do not contain the
+key. The implementation uses double hashing (Kirsch-Mitzenmacher) over a
+64-bit FNV-1a base hash, the standard trick LevelDB/RocksDB use to derive
+k probe positions from one hash computation.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.common.rng import fnv1a_64
+from repro.errors import CorruptionError
+
+_HEADER = struct.Struct("<IB")  # bit count, probe count
+
+
+class BloomFilter:
+    """A serializable bloom filter over byte-string keys."""
+
+    def __init__(self, n_bits: int, n_probes: int, bits: bytearray | None = None) -> None:
+        if n_bits <= 0:
+            raise ValueError(f"n_bits must be positive: {n_bits}")
+        if not 1 <= n_probes <= 30:
+            raise ValueError(f"n_probes out of range: {n_probes}")
+        self._n_bits = n_bits
+        self._n_probes = n_probes
+        n_bytes = (n_bits + 7) // 8
+        if bits is None:
+            self._bits = bytearray(n_bytes)
+        else:
+            if len(bits) != n_bytes:
+                raise ValueError(f"bit array size mismatch: {len(bits)} != {n_bytes}")
+            self._bits = bits
+
+    @staticmethod
+    def for_capacity(n_keys: int, bits_per_key: int = 10) -> "BloomFilter":
+        """Size a filter for ``n_keys`` at ``bits_per_key`` (RocksDB default 10)."""
+        n_bits = max(64, n_keys * bits_per_key)
+        # Optimal probe count is ln(2) * bits/key, clamped like LevelDB.
+        n_probes = max(1, min(30, int(round(bits_per_key * math.log(2)))))
+        return BloomFilter(n_bits, n_probes)
+
+    def _positions(self, key: bytes):
+        base = fnv1a_64(key)
+        h1 = base & 0xFFFFFFFF
+        h2 = (base >> 32) | 1  # odd delta => full-period probing
+        for i in range(self._n_probes):
+            yield (h1 + i * h2) % self._n_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def may_contain(self, key: bytes) -> bool:
+        """False means *definitely absent*; True means possibly present."""
+        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+
+    @property
+    def size_bytes(self) -> int:
+        return _HEADER.size + len(self._bits)
+
+    def encode(self) -> bytes:
+        return _HEADER.pack(self._n_bits, self._n_probes) + bytes(self._bits)
+
+    @staticmethod
+    def decode(buf: bytes) -> "BloomFilter":
+        if len(buf) < _HEADER.size:
+            raise CorruptionError("truncated bloom filter header")
+        n_bits, n_probes = _HEADER.unpack_from(buf, 0)
+        body = bytearray(buf[_HEADER.size :])
+        try:
+            return BloomFilter(n_bits, n_probes, bits=body)
+        except ValueError as exc:
+            raise CorruptionError(f"corrupt bloom filter: {exc}") from exc
+
+    def false_positive_rate(self, n_keys: int) -> float:
+        """Theoretical FP rate after inserting ``n_keys`` keys."""
+        if n_keys == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self._n_probes * n_keys / self._n_bits)
+        return fill**self._n_probes

@@ -1,0 +1,372 @@
+"""Leveled compaction.
+
+The executor is shared by every system in the reproduction; behaviour is
+specialized through two seams, exactly the two knobs the paper turns:
+
+* a :class:`CompactionPicker` chooses *which SST file* to compact from an
+  over-full level (classic RocksDB: largest file; PrismDB §4.3: the file
+  with the lowest popularity score), and
+* a :class:`MergeRouter` decides *where each merged record goes* (classic:
+  everything moves down; PrismDB §4.2-4.3: popular keys are pinned to the
+  upper level or pulled up from the lower one).
+
+The router contract keeps the LSM consistency guarantee (§4.4): the
+executor feeds it only the *newest* surviving version of each key among
+the compaction inputs, and up-routing is restricted to the upper input
+key range so level disjointness is preserved.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import CompactionError
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.iterators import merge_records
+from repro.lsm.layout import StorageLayout
+from repro.lsm.options import DBOptions
+from repro.lsm.record import Record
+from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.version import LevelManifest
+from repro.storage.backend import StorageBackend
+
+
+class CompactionPicker(abc.ABC):
+    """Chooses the input file(s) from an over-full level."""
+
+    @abc.abstractmethod
+    def pick_files(self, manifest: LevelManifest, level: int) -> list[SSTable]:
+        """Select upper-level input files for a compaction of ``level``."""
+
+
+class LargestFilePicker(CompactionPicker):
+    """Classic heuristic: compact the biggest file (reclaims most space)."""
+
+    def pick_files(self, manifest: LevelManifest, level: int) -> list[SSTable]:
+        files = manifest.files(level)
+        if not files:
+            return []
+        return [max(files, key=lambda table: (table.size_bytes, -table.file_id))]
+
+
+class OldestFilePicker(CompactionPicker):
+    """Round-robin-ish alternative: compact the oldest file first."""
+
+    def pick_files(self, manifest: LevelManifest, level: int) -> list[SSTable]:
+        files = manifest.files(level)
+        if not files:
+            return []
+        return [min(files, key=lambda table: table.file_id)]
+
+
+class MergeRouter(abc.ABC):
+    """Decides, per merged record, whether it stays in the upper level."""
+
+    #: Whether a single non-overlapping file may be moved down without a
+    #: rewrite. Read-aware routers refine this per file via
+    #: :meth:`allows_trivial_move`.
+    supports_trivial_move: bool = True
+
+    def allows_trivial_move(self, table: SSTable) -> bool:
+        """Per-file trivial-move veto; defaults to the class-wide flag."""
+        return self.supports_trivial_move
+
+    def begin_job(
+        self,
+        upper_level: int,
+        lower_level: int,
+        upper_lo: bytes,
+        upper_hi: bytes,
+        upper_budget_bytes: int,
+        pull_budget_bytes: int = 0,
+    ) -> None:
+        """Hook called once per compaction job before routing starts.
+
+        ``upper_budget_bytes`` is how much data the upper level can
+        retain after this job without exceeding its size target — the
+        level-sizing constraint §4.3 says the placer must respect.
+        ``pull_budget_bytes`` is the stricter allowance for records
+        *rising* from the lower level: pulls add net-new bytes to the
+        upper level, so they are only granted genuine headroom below the
+        target (retentions merely keep bytes that were already there).
+        """
+
+    @abc.abstractmethod
+    def route_up(self, record: Record, source_level: int) -> bool:
+        """True to retain/pull the record in/to the upper level."""
+
+    def clock_value_fn(self):
+        """Optional key -> CLOCK value function for output file scoring."""
+        return None
+
+
+class CompactDownRouter(MergeRouter):
+    """Classic LSM behaviour: every record moves to the lower level."""
+
+    supports_trivial_move = True
+
+    def route_up(self, record: Record, source_level: int) -> bool:
+        return False
+
+
+@dataclass
+class CompactionStats:
+    """Cumulative compaction accounting (feeds Fig. 12)."""
+
+    compactions: int = 0
+    trivial_moves: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    records_in: int = 0
+    records_out: int = 0
+    records_pinned: int = 0
+    records_pulled_up: int = 0
+    tombstones_dropped: int = 0
+    shadowed_dropped: int = 0
+    per_level_write_bytes: dict[int, int] = field(default_factory=dict)
+
+    def note_level_write(self, level: int, n_bytes: int) -> None:
+        self.per_level_write_bytes[level] = self.per_level_write_bytes.get(level, 0) + n_bytes
+
+
+class CompactionExecutor:
+    """Plans and runs compactions against one manifest."""
+
+    #: Safety cap on jobs per maintenance call; prevents a pathological
+    #: pinning threshold from spinning forever (the paper's Fig. 14
+    #: "threshold too high" regime degrades throughput instead).
+    MAX_JOBS_PER_CALL = 64
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        manifest: LevelManifest,
+        layout: StorageLayout,
+        options: DBOptions,
+        cache: BlockCache,
+        picker: CompactionPicker,
+        router: MergeRouter,
+    ) -> None:
+        self._backend = backend
+        self._manifest = manifest
+        self._layout = layout
+        self._options = options
+        self._cache = cache
+        self._picker = picker
+        self._router = router
+        self.stats = CompactionStats()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def hot_bytes(self, level: int) -> int:
+        """Bytes at ``level`` in files carrying a positive popularity score."""
+        return sum(
+            table.size_bytes
+            for table in self._manifest.files(level)
+            if table.popularity_score > 0
+        )
+
+    def compaction_score(self, level: int) -> float:
+        """> 1.0 means the level needs compaction (RocksDB-style score).
+
+        Hot (positively-scored) bytes are discounted up to the pin
+        reserve: retained popular data occupies the level without
+        re-triggering compaction of it.
+        """
+        if level >= self._manifest.num_levels - 1:
+            return 0.0  # the bottom level never compacts down
+        if level == 0:
+            return self._manifest.file_count(0) / self._options.l0_compaction_trigger
+        target = self._options.level_target_bytes(level)
+        reserve = int(target * self._options.pin_reserve_fraction)
+        discounted = min(self.hot_bytes(level), reserve)
+        return (self._manifest.level_bytes(level) - discounted) / target
+
+    def pick_compaction_level(self) -> int | None:
+        """The level with the highest score >= 1.0, if any."""
+        best_level, best_score = None, 1.0
+        for level in range(self._manifest.num_levels - 1):
+            score = self.compaction_score(level)
+            if score >= best_score:
+                best_level, best_score = level, score
+        return best_level
+
+    def maybe_compact(self) -> int:
+        """Run compactions until all levels are within target; job count."""
+        jobs = 0
+        while jobs < self.MAX_JOBS_PER_CALL:
+            level = self.pick_compaction_level()
+            if level is None:
+                break
+            self.run_job(level)
+            jobs += 1
+        return jobs
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_job(self, level: int) -> None:
+        """Compact ``level`` into ``level + 1``."""
+        if level >= self._manifest.num_levels - 1:
+            raise CompactionError(f"cannot compact bottom level L{level}")
+        if level == 0:
+            upper_inputs = list(self._manifest.files(0))
+        else:
+            upper_inputs = self._picker.pick_files(self._manifest, level)
+        if not upper_inputs:
+            return
+        upper_lo = min(table.smallest_key for table in upper_inputs)
+        upper_hi = max(table.largest_key for table in upper_inputs)
+        lower_inputs = self._manifest.overlapping_files(level + 1, upper_lo, upper_hi)
+
+        if (
+            not lower_inputs
+            and len(upper_inputs) == 1
+            and self._router.allows_trivial_move(upper_inputs[0])
+            and self._layout.tier_for_level(level) is self._layout.tier_for_level(level + 1)
+        ):
+            # Same tier, nothing to merge: re-parent the file without I/O.
+            table = upper_inputs[0]
+            self._manifest.remove_file(level, table)
+            self._manifest.add_file(level + 1, table)
+            self.stats.trivial_moves += 1
+            return
+
+        self._merge(level, upper_inputs, lower_inputs, upper_lo, upper_hi)
+
+    def _read_inputs(self, tables: list[SSTable]) -> list[list[Record]]:
+        sources = []
+        for table in tables:
+            records, _ = table.read_all_records(foreground=False)
+            self.stats.bytes_read += table.size_bytes
+            self.stats.records_in += len(records)
+            sources.append(records)
+        return sources
+
+    def _merge(
+        self,
+        level: int,
+        upper_inputs: list[SSTable],
+        lower_inputs: list[SSTable],
+        upper_lo: bytes,
+        upper_hi: bytes,
+    ) -> None:
+        lower_level = level + 1
+        bottom = lower_level == self._manifest.num_levels - 1
+        input_bytes = sum(table.size_bytes for table in upper_inputs)
+        remaining = self._manifest.level_bytes(level) - input_bytes
+        # The upper level may hold its target plus the pin reserve; the
+        # job's pinning budget is whatever of that allowance remains once
+        # the inputs are gone. Levels beyond the allowance pin nothing
+        # until cold data drains, so compaction always converges.
+        target = self._options.level_target_bytes(level)
+        allowance = int(target * (1.0 + self._options.pin_reserve_fraction))
+        upper_budget = max(0, allowance - remaining)
+        self._router.begin_job(
+            level, lower_level, upper_lo, upper_hi, upper_budget, upper_budget
+        )
+
+        sources = self._read_inputs(upper_inputs)
+        source_levels = [level] * len(upper_inputs)
+        sources.extend(self._read_inputs(lower_inputs))
+        source_levels.extend([lower_level] * len(lower_inputs))
+
+        # Tag each record with its source level so the router can tell a
+        # "retain" (already upper) from a "pull up" (rising from lower).
+        # (user_key, seqno) is globally unique across sources.
+        origin: dict[tuple[bytes, int], int] = {}
+        for records, src_level in zip(sources, source_levels):
+            for record in records:
+                origin[(record.user_key, record.seqno)] = src_level
+
+        upper_writer = _OutputWriter(self, level)
+        lower_writer = _OutputWriter(self, lower_level)
+        last_key: bytes | None = None
+        for record in merge_records(sources):
+            # Shadowing: the first record per user key (internal order)
+            # is the newest version; older ones are dropped here.
+            if record.user_key == last_key:
+                self.stats.shadowed_dropped += 1
+                continue
+            last_key = record.user_key
+
+            source_level = origin[(record.user_key, record.seqno)]
+            route_up = False
+            if self._router.route_up(record, source_level):
+                # Up-routing outside the upper input range would violate
+                # L-level disjointness (except into L0, which overlaps).
+                if level == 0 or upper_lo <= record.user_key <= upper_hi:
+                    route_up = True
+            if route_up:
+                if source_level == level:
+                    self.stats.records_pinned += 1
+                else:
+                    self.stats.records_pulled_up += 1
+                upper_writer.add(record)
+                continue
+            if record.is_tombstone and bottom:
+                self.stats.tombstones_dropped += 1
+                continue
+            lower_writer.add(record)
+
+        new_upper = upper_writer.finish()
+        new_lower = lower_writer.finish()
+
+        for table in upper_inputs:
+            self._manifest.remove_file(level, table)
+        for table in lower_inputs:
+            self._manifest.remove_file(lower_level, table)
+        for table in new_upper:
+            self._manifest.add_file(level, table)
+        for table in new_lower:
+            self._manifest.add_file(lower_level, table)
+        for table in upper_inputs + lower_inputs:
+            self._cache.invalidate_file(table.file_id)
+            self._backend.delete_file(table.file)
+
+        self.stats.compactions += 1
+
+    def make_builder(self, level: int) -> SSTableBuilder:
+        """A builder writing to ``level``'s tier with router-driven scoring."""
+        return SSTableBuilder(
+            self._backend,
+            self._layout.tier_for_level(level),
+            block_bytes=self._options.block_bytes,
+            target_file_bytes=self._options.target_file_bytes,
+            bits_per_key=self._options.bits_per_key,
+            clock_value_fn=self._router.clock_value_fn(),
+            score_exponent=self._options.score_exponent,
+        )
+
+
+class _OutputWriter:
+    """Rotates SSTable builders at the target file size for one level."""
+
+    def __init__(self, executor: CompactionExecutor, level: int) -> None:
+        self._executor = executor
+        self._level = level
+        self._builder: SSTableBuilder | None = None
+        self._tables: list[SSTable] = []
+
+    def add(self, record: Record) -> None:
+        if self._builder is None:
+            self._builder = self._executor.make_builder(self._level)
+        self._builder.add(record)
+        self._executor.stats.records_out += 1
+        if self._builder.should_finish():
+            self._finish_current()
+
+    def _finish_current(self) -> None:
+        assert self._builder is not None
+        table, _ = self._builder.finish(foreground=False)
+        self._executor.stats.bytes_written += table.size_bytes
+        self._executor.stats.note_level_write(self._level, table.size_bytes)
+        self._tables.append(table)
+        self._builder = None
+
+    def finish(self) -> list[SSTable]:
+        if self._builder is not None and self._builder.entry_count > 0:
+            self._finish_current()
+        return self._tables

@@ -1,0 +1,507 @@
+"""The LSM key-value store.
+
+:class:`LsmDB` is the engine every system in the reproduction runs on:
+vanilla RocksDB-style behaviour falls out of the default picker/router,
+PrismDB plugs in its read-aware picker/router, and Mutant wraps the same
+engine with a file-migration layer. All reads and writes return simulated
+latencies; the harness's closed-loop runner turns those into throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.stats import CounterSet
+from repro.errors import DBClosedError
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.compaction import (
+    CompactDownRouter,
+    CompactionExecutor,
+    CompactionPicker,
+    LargestFilePicker,
+    MergeRouter,
+)
+from repro.lsm.iterators import merge_records, visible_records
+from repro.lsm.layout import StorageLayout
+from repro.lsm.manifest_log import ManifestLog, replay_manifest
+from repro.lsm.memtable import Memtable
+from repro.lsm.options import DBOptions
+from repro.lsm.record import Record, ValueKind
+from repro.lsm.row_cache import RowCache
+from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.version import LevelManifest
+from repro.lsm.wal import WriteAheadLog
+from repro.storage.backend import StorageBackend
+from repro.storage.device import DRAM_SPEC
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a point lookup."""
+
+    value: bytes | None
+    latency_usec: float
+    served_by: str  # "memtable", "L0".."L<n>", or "miss"
+    #: Sequence number of the version served (None on miss); the tracker
+    #: uses it as the key-version tag (§5).
+    seqno: int | None = None
+
+    @property
+    def found(self) -> bool:
+        return self.value is not None
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of a put/delete."""
+
+    latency_usec: float
+    triggered_flush: bool
+    triggered_compactions: int
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of a range scan."""
+
+    items: list[tuple[bytes, bytes]]
+    latency_usec: float
+
+
+@dataclass
+class DBStats:
+    """Engine-level counters the experiments read."""
+
+    user_reads: int = 0
+    user_writes: int = 0
+    user_scans: int = 0
+    user_read_bytes: int = 0
+    user_write_bytes: int = 0
+    reads_by_source: CounterSet = field(default_factory=CounterSet)
+    flush_count: int = 0
+    flush_bytes: int = 0
+    wal_bytes: int = 0
+    bloom_negative_skips: int = 0
+
+    def write_amplification(self, compaction_write_bytes: int) -> float:
+        """(flush + compaction + WAL bytes) / user bytes written."""
+        if self.user_write_bytes == 0:
+            return 0.0
+        total = self.flush_bytes + compaction_write_bytes + self.wal_bytes
+        return total / self.user_write_bytes
+
+
+class LsmDB:
+    """A leveled LSM key-value store over simulated heterogeneous storage."""
+
+    def __init__(
+        self,
+        layout: StorageLayout,
+        options: DBOptions | None = None,
+        *,
+        clock: SimClock | None = None,
+        backend: StorageBackend | None = None,
+        picker: CompactionPicker | None = None,
+        router: MergeRouter | None = None,
+        name: str = "lsm",
+    ) -> None:
+        self.options = options or DBOptions()
+        if layout.num_levels != self.options.num_levels:
+            raise ValueError(
+                f"layout has {layout.num_levels} levels, options expect "
+                f"{self.options.num_levels}"
+            )
+        self.name = name
+        self.layout = layout
+        self.clock = clock or SimClock()
+        self.backend = backend or StorageBackend(self.clock)
+        self.cache = BlockCache(self.options.block_cache_bytes)
+        self.row_cache = RowCache(self.options.row_cache_bytes)
+        self.manifest = LevelManifest(self.options.num_levels)
+        self.picker = picker or LargestFilePicker()
+        self.router = router or CompactDownRouter()
+        self.executor = CompactionExecutor(
+            self.backend,
+            self.manifest,
+            layout,
+            self.options,
+            self.cache,
+            self.picker,
+            self.router,
+        )
+        self.wal = WriteAheadLog(layout.wal_tier) if self.options.wal_enabled else None
+        # The MANIFEST lives next to the WAL on the fastest tier; every
+        # add/remove of an SSTable is logged so the level structure can
+        # be rebuilt on restart (see reopen()).
+        self.manifest_log = ManifestLog(layout.wal_tier)
+        self.manifest.observer = self.manifest_log
+        self.stats = DBStats()
+        #: Per-SST-file probe counts (Mutant's temperature signal).
+        self.file_read_counts: dict[int, int] = {}
+        self._memtable = Memtable(seed=self.options.seed)
+        self._seqno = 0
+        self._closed = False
+        #: Optional hook invoked as hook(user_key, record) on each read
+        #: hit; PrismDB attaches the tracker here.
+        self.read_hook = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, layout_code: str = "NNNTQ", options: DBOptions | None = None, **kwargs) -> "LsmDB":
+        """Convenience constructor building the layout from a code string."""
+        from repro.lsm.layout import build_layout
+
+        options = options or DBOptions()
+        clock = kwargs.pop("clock", None) or SimClock()
+        layout = build_layout(layout_code, options, clock)
+        return cls(layout, options, clock=clock, **kwargs)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DBClosedError(f"database {self.name!r} is closed")
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, user_key: bytes, value: bytes) -> WriteResult:
+        """Insert or update a key."""
+        return self._write(Record(user_key, self._next_seqno(), ValueKind.PUT, value))
+
+    def delete(self, user_key: bytes) -> WriteResult:
+        """Delete a key (writes a tombstone)."""
+        return self._write(Record(user_key, self._next_seqno(), ValueKind.DELETE))
+
+    def _next_seqno(self) -> int:
+        self._seqno += 1
+        return self._seqno
+
+    def _write(self, record: Record) -> WriteResult:
+        self._check_open()
+        latency = self.options.cpu_overhead_usec
+        if self.wal is not None:
+            latency += self.wal.append(record)
+        self.row_cache.invalidate(record.user_key)
+        self._memtable.add(record)
+        latency += DRAM_SPEC.write_time_usec(record.encoded_size())
+        self.stats.user_writes += 1
+        self.stats.user_write_bytes += record.encoded_size()
+        flushed = False
+        compactions = 0
+        if self._memtable.approximate_bytes >= self.options.memtable_bytes:
+            self._flush_memtable()
+            flushed = True
+            compactions = self.executor.maybe_compact()
+        if self.wal is not None:
+            self.stats.wal_bytes = self.wal.total_bytes
+        return WriteResult(latency, flushed, compactions)
+
+    def flush(self) -> int:
+        """Force-flush the memtable; returns compactions triggered."""
+        self._check_open()
+        if len(self._memtable) == 0:
+            return 0
+        self._flush_memtable()
+        return self.executor.maybe_compact()
+
+    def _fresh_instance(self) -> "LsmDB":
+        """A blank instance on the same layout/backend/clock (restart)."""
+        return type(self)(
+            self.layout,
+            self.options,
+            clock=self.clock,
+            backend=self.backend,
+            picker=self.picker,
+            router=self.router,
+            name=self.name,
+        )
+
+    def reopen(self) -> "LsmDB":
+        """Simulate a full process restart and return the reopened DB.
+
+        Durable state survives: SSTables (with their footers), the
+        MANIFEST log, and the live WAL segment. Volatile state does not:
+        the memtable is rebuilt from the WAL, the block cache starts
+        cold, and every table's filter/index must be re-read on first
+        use. The returned instance shares the storage backend, layout
+        and clock — the "machine" — but none of the in-memory state.
+        """
+        self._check_open()
+        self.close()
+        reopened = self._fresh_instance()
+        # Rebuild the level structure from the manifest log.
+        live = replay_manifest(self.manifest_log.edits())
+        max_seqno = 0
+        by_level: dict[int, list] = {}
+        for file_id, level in live.items():
+            table = SSTable.open(self.backend, self.backend.get_file(file_id))
+            by_level.setdefault(level, []).append(table)
+            max_seqno = max(max_seqno, table.max_seqno)
+        reopened.manifest.observer = None  # don't re-log recovered adds
+        for level, tables in sorted(by_level.items()):
+            # add_file prepends at L0, so feeding ascending file ids
+            # (ids are monotonic in creation time) restores newest-first.
+            for table in sorted(tables, key=lambda t: t.file_id):
+                reopened.manifest.add_file(level, table)
+        reopened.manifest_log.compact(live)
+        reopened.manifest.observer = reopened.manifest_log
+        # Replay the WAL into the fresh memtable.
+        if self.wal is not None and reopened.wal is not None:
+            for record in self.wal.replay():
+                reopened._memtable.add(record)
+                max_seqno = max(max_seqno, record.seqno)
+                reopened.wal.append(record)
+        reopened._seqno = max_seqno
+        return reopened
+
+    def simulate_crash_and_recover(self) -> int:
+        """Lose all volatile state, then recover from durable state.
+
+        Drops the memtable and the DRAM block cache (as a power loss
+        would), then replays the live WAL segment to rebuild the
+        memtable — the recovery path every WAL-backed LSM implements.
+        Returns the number of records replayed. Without a WAL, unflushed
+        writes are simply gone (the data-loss mode the WAL exists to
+        prevent); the sequence counter is preserved either way so new
+        writes stay newer than every surviving version.
+        """
+        self._check_open()
+        self._memtable = Memtable(seed=self.options.seed + self.stats.flush_count + 1)
+        self.cache.clear()
+        self.row_cache.clear()
+        if self.wal is None:
+            return 0
+        replayed = self.wal.replay()
+        for record in replayed:
+            self._memtable.add(record)
+        return len(replayed)
+
+    def _flush_memtable(self) -> None:
+        builder = SSTableBuilder(
+            self.backend,
+            self.layout.tier_for_level(0),
+            block_bytes=self.options.block_bytes,
+            target_file_bytes=max(
+                self.options.target_file_bytes, self._memtable.approximate_bytes * 2
+            ),
+            bits_per_key=self.options.bits_per_key,
+            clock_value_fn=self.router.clock_value_fn(),
+            score_exponent=self.options.score_exponent,
+        )
+        for record in self._memtable.records():
+            builder.add(record)
+        table, _ = builder.finish(foreground=False)
+        self.manifest.add_file(0, table)
+        self.stats.flush_count += 1
+        self.stats.flush_bytes += table.size_bytes
+        self.executor.stats.note_level_write(0, table.size_bytes)
+        if self.wal is not None:
+            self.wal.truncate()
+        self._memtable = Memtable(seed=self.options.seed + self.stats.flush_count)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, user_key: bytes) -> ReadResult:
+        """Point lookup; returns the newest committed value or None."""
+        self._check_open()
+        latency = self.options.cpu_overhead_usec
+        result = None
+
+        record = self._memtable.get(user_key)
+        row_hit = False
+        if record is not None:
+            latency += DRAM_SPEC.read_time_usec(record.encoded_size())
+            result = ReadResult(
+                None if record.is_tombstone else record.value,
+                latency,
+                "memtable",
+                seqno=record.seqno,
+            )
+        else:
+            if self.options.row_cache_bytes:
+                row_hit, row_value, row_seqno, row_latency = self.row_cache.lookup(user_key)
+                if row_hit:
+                    latency += row_latency
+                    result = ReadResult(row_value, latency, "rowcache", seqno=row_seqno)
+        if result is None:
+            for level in range(self.manifest.num_levels):
+                candidates = self.manifest.candidates_for_key(level, user_key)
+                found = None
+                for table in candidates:
+                    hit, table_latency, filtered = table.get(
+                        user_key, self.cache, foreground=True
+                    )
+                    latency += table_latency
+                    self.file_read_counts[table.file_id] = (
+                        self.file_read_counts.get(table.file_id, 0) + 1
+                    )
+                    if filtered:
+                        self.stats.bloom_negative_skips += 1
+                    if hit is not None:
+                        found = hit
+                        break
+                if found is not None:
+                    result = ReadResult(
+                        None if found.is_tombstone else found.value,
+                        latency,
+                        f"L{level}",
+                        seqno=found.seqno,
+                    )
+                    break
+            if result is None:
+                result = ReadResult(None, latency, "miss")
+            if self.options.row_cache_bytes:
+                # Remember what the tree walk resolved (value or absence).
+                self.row_cache.insert(user_key, result.value, result.seqno or 0)
+
+        self.stats.user_reads += 1
+        if result.value is not None:
+            self.stats.user_read_bytes += len(result.value)
+        self.stats.reads_by_source.add(result.served_by)
+        if self.read_hook is not None:
+            self.read_hook(user_key, result)
+        return result
+
+    def scan(self, start_key: bytes, count: int) -> ScanResult:
+        """Return up to ``count`` live key-value pairs from ``start_key``."""
+        self._check_open()
+        if count < 0:
+            raise ValueError(f"negative scan count: {count}")
+        latency = self.options.cpu_overhead_usec
+        latencies = [0.0]
+
+        def charged(source):
+            for record, step_latency in source:
+                latencies[0] += step_latency
+                yield record
+
+        def level_iter(files):
+            # Chain a sorted level's files lazily: the next file opens
+            # only once the previous one is exhausted, so a short scan
+            # touches one or two files per level instead of all of them.
+            for table in files:
+                if table.largest_key < start_key:
+                    continue
+                yield from table.iter_from(start_key, self.cache)
+
+        sources = [self._memtable.scan_from(start_key)]
+        # L0 files overlap, so each needs its own cursor.
+        for table in self.manifest.files(0):
+            if table.largest_key >= start_key:
+                sources.append(charged(table.iter_from(start_key, self.cache)))
+        for level in range(1, self.manifest.num_levels):
+            sources.append(charged(level_iter(self.manifest.files(level))))
+        items: list[tuple[bytes, bytes]] = []
+        for record in visible_records(merge_records(sources)):
+            if len(items) >= count:
+                break
+            items.append((record.user_key, record.value))
+        latency += latencies[0]
+        self.stats.user_scans += 1
+        return ScanResult(items, latency)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def total_data_bytes(self) -> int:
+        """Bytes currently stored across all levels (excl. memtable)."""
+        return self.manifest.total_bytes()
+
+    def level_summary(self) -> list[dict]:
+        """Per-level file count / bytes / tier, for debugging and reports."""
+        rows = []
+        for level in range(self.manifest.num_levels):
+            rows.append(
+                {
+                    "level": level,
+                    "files": self.manifest.file_count(level),
+                    "bytes": self.manifest.level_bytes(level),
+                    "target": self.options.level_target_bytes(level),
+                    "tier": self.layout.tier_for_level(level).name,
+                }
+            )
+        return rows
+
+    def describe(self) -> str:
+        """A human-readable status report (levels, caches, I/O, policy)."""
+        lines = [
+            f"{type(self).__name__} {self.name!r} on {self.layout.describe()}",
+            f"  clock: {self.clock.now / 1_000_000.0:.3f} sim-seconds",
+            f"  memtable: {len(self._memtable)} entries, "
+            f"{self._memtable.approximate_bytes} B "
+            f"(flush at {self.options.memtable_bytes} B)",
+        ]
+        for row in self.level_summary():
+            fill = row["bytes"] / row["target"] if row["target"] else 0.0
+            lines.append(
+                f"  L{row['level']}: {row['files']:4d} files, {row['bytes']:>12,} B "
+                f"({fill:5.1%} of target) on {row['tier']}"
+            )
+        cache = self.cache.stats
+        lines.append(
+            f"  block cache: {self.cache.used_bytes}/{self.cache.capacity_bytes} B, "
+            f"hit rate {cache.hit_rate():.1%}"
+        )
+        if self.options.row_cache_bytes:
+            lines.append(
+                f"  row cache: {self.row_cache.used_bytes}/{self.row_cache.capacity_bytes} B, "
+                f"hit rate {self.row_cache.stats.hit_rate:.1%}"
+            )
+        exec_stats = self.executor.stats
+        lines.append(
+            f"  compactions: {exec_stats.compactions} "
+            f"(+{exec_stats.trivial_moves} trivial moves), "
+            f"{exec_stats.bytes_written / 2**20:.1f} MB written, "
+            f"{exec_stats.records_pinned} pinned / "
+            f"{exec_stats.records_pulled_up} pulled up"
+        )
+        lines.append(
+            f"  user I/O: {self.stats.user_reads} reads, {self.stats.user_writes} writes, "
+            f"WA {self.stats.write_amplification(exec_stats.bytes_written):.2f}"
+        )
+        for tier in self.layout.tiers:
+            device = tier.device
+            lines.append(
+                f"  {tier.name}: {device.stats.bytes_read / 2**20:.1f} MB read, "
+                f"{device.stats.bytes_written / 2**20:.1f} MB written, "
+                f"wear {device.wear_cycles:.3f} P/E cycles"
+            )
+        return "\n".join(lines)
+
+    def check_invariants(self) -> None:
+        """Verify level structure and newest-version-on-top consistency.
+
+        The consistency rule pinned compaction must preserve (§4.4): for
+        any user key, *every* version at a deeper level is older than
+        *every* version at a shallower level. We track the minimum seqno
+        seen at shallower levels and require each level's maximum to stay
+        below it.
+        """
+        self.manifest.check_invariants()
+        min_seqno_above: dict[bytes, int] = {}
+        for level in range(self.manifest.num_levels):
+            level_min: dict[bytes, int] = {}
+            level_max: dict[bytes, int] = {}
+            for table in self.manifest.files(level):
+                records, _ = table.read_all_records(foreground=False)
+                for record in records:
+                    key = record.user_key
+                    level_min[key] = min(level_min.get(key, record.seqno), record.seqno)
+                    level_max[key] = max(level_max.get(key, record.seqno), record.seqno)
+            for user_key, seqno in level_max.items():
+                above = min_seqno_above.get(user_key)
+                if above is not None and seqno >= above:
+                    raise AssertionError(
+                        f"consistency violation: key {user_key!r} version "
+                        f"seqno {seqno} at L{level} is not older than "
+                        f"seqno {above} at a shallower level"
+                    )
+            for user_key, seqno in level_min.items():
+                above = min_seqno_above.get(user_key)
+                min_seqno_above[user_key] = seqno if above is None else min(above, seqno)

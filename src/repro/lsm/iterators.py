@@ -1,0 +1,52 @@
+"""Merging iterators.
+
+Range scans and compactions both consume multiple sorted record sources
+and need a single stream in internal-key order with version shadowing
+resolved (newest version of each user key wins; older versions are
+dropped). ``merge_records`` provides the raw ordered merge;
+``newest_versions`` layers the shadowing on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.lsm.record import Record
+
+
+def merge_records(sources: Iterable[Iterable[Record]]) -> Iterator[Record]:
+    """Merge pre-sorted record streams into internal-key order.
+
+    Each source must already be sorted by (user key asc, seqno desc).
+    Ties across sources are broken by source index, which is irrelevant
+    for correctness because sequence numbers are globally unique.
+    """
+    return heapq.merge(*sources, key=lambda record: record.internal_sort_key())
+
+
+def newest_versions(merged: Iterable[Record]) -> Iterator[Record]:
+    """Collapse an internal-key-ordered stream to one record per user key.
+
+    The first record seen for a user key is the newest (internal order
+    puts higher seqnos first); all older versions are shadowed.
+    Tombstones are *kept* — dropping them is a compaction decision that
+    depends on the output level.
+    """
+    previous_key: bytes | None = None
+    for record in merged:
+        if record.user_key == previous_key:
+            continue
+        previous_key = record.user_key
+        yield record
+
+
+def visible_records(merged: Iterable[Record]) -> Iterator[Record]:
+    """Like :func:`newest_versions` but also drops tombstoned keys.
+
+    This is the read-path view used by range scans: a key whose newest
+    version is a DELETE simply does not exist.
+    """
+    for record in newest_versions(merged):
+        if not record.is_tombstone:
+            yield record

@@ -1,0 +1,69 @@
+"""The in-memory write buffer.
+
+Writes land in the memtable first; when it reaches its size budget the DB
+flushes it to an L0 SSTable. The memtable keeps the *latest* version per
+user key (the simulator exposes no snapshot reads, so shadowed in-memory
+versions would never be observable; the flushed SSTable therefore carries
+exactly one version per key, as a RocksDB flush with default settings
+effectively does after its own dedup).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lsm.record import Record, ValueKind
+from repro.lsm.skiplist import SkipList
+
+
+class Memtable:
+    """Skiplist-backed buffer of the newest un-flushed writes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._table = SkipList(seed=seed)
+        self._approx_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Serialized size estimate used for the flush trigger."""
+        return self._approx_bytes
+
+    def add(self, record: Record) -> None:
+        """Insert a PUT or DELETE record, replacing any older version."""
+        previous: Record | None = self._table.get(record.user_key)
+        if previous is not None:
+            if previous.seqno >= record.seqno:
+                raise ValueError(
+                    f"non-monotonic write to {record.user_key!r}: "
+                    f"seqno {record.seqno} after {previous.seqno}"
+                )
+            self._approx_bytes -= previous.encoded_size()
+        self._table.insert(record.user_key, record)
+        self._approx_bytes += record.encoded_size()
+
+    def get(self, user_key: bytes) -> Record | None:
+        """Return the newest record for ``user_key`` (may be a tombstone)."""
+        return self._table.get(user_key)
+
+    def scan_from(self, user_key: bytes) -> Iterator[Record]:
+        """Records with user key >= ``user_key`` in ascending order."""
+        for _, record in self._table.seek_ceiling(user_key):
+            yield record
+
+    def records(self) -> Iterator[Record]:
+        """All records in ascending user-key order (flush order)."""
+        for _, record in self._table.items():
+            yield record
+
+    def smallest_key(self) -> bytes | None:
+        return self._table.first_key()
+
+    def largest_key(self) -> bytes | None:
+        return self._table.last_key()
+
+    def live_entry_count(self) -> int:
+        """Number of non-tombstone entries currently buffered."""
+        return sum(1 for record in self.records() if record.kind == ValueKind.PUT)

@@ -1,0 +1,120 @@
+"""Engine configuration.
+
+Defaults are scaled-down but proportionate to the paper's setup: the
+level size multiplier, L0 trigger, block size, and bits-per-key match
+RocksDB's; absolute sizes are shrunk so simulations of 10⁴–10⁶ keys run
+in seconds (see DESIGN.md, "Reproduction mode").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import KIB
+from repro.errors import ConfigError
+
+
+@dataclass
+class DBOptions:
+    """Tuning knobs for :class:`~repro.lsm.db.LsmDB` and its components."""
+
+    #: Memtable flush threshold.
+    memtable_bytes: int = 64 * KIB
+    #: Data block target size (the caching granularity, §3.3).
+    block_bytes: int = 4 * KIB
+    #: SSTable target size.
+    target_file_bytes: int = 64 * KIB
+    #: Number of on-disk levels (L0..L{n-1}); the paper uses 5.
+    num_levels: int = 5
+    #: L0 file count that triggers an L0->L1 compaction.
+    l0_compaction_trigger: int = 4
+    #: Target size of L1; deeper levels multiply by the level multiplier.
+    level1_target_bytes: int = 256 * KIB
+    #: Ratio between consecutive level targets (RocksDB default 10; the
+    #: paper's Fig. 1 example uses 8).
+    level_size_multiplier: int = 8
+    #: Bloom filter density (RocksDB default).
+    bits_per_key: int = 10
+    #: DRAM block cache capacity; 0 disables caching (Fig. 13).
+    block_cache_bytes: int = 512 * KIB
+    #: Optional object-granularity row cache (RocksDB's row_cache); 0
+    #: disables it. Used by the §3.3 caching-granularity extension.
+    row_cache_bytes: int = 0
+    #: Whether updates are logged to the WAL before the memtable.
+    wal_enabled: bool = True
+    #: Per-operation CPU cost (request parsing, memtable walk, etc.).
+    cpu_overhead_usec: float = 2.0
+    #: Extra per-read CPU cost of PrismDB's tracker insertion; the paper
+    #: microbenchmarks it at < 2 us (§6.5). Applied only when a tracker
+    #: is attached.
+    tracker_overhead_usec: float = 1.5
+    #: Exponent n in the SST popularity score Σ clockⁿ (§4.3; paper uses 3).
+    score_exponent: int = 3
+    #: Fraction of each level's target reserved for pinned (hot) data.
+    #: Hot-scored file bytes up to this reserve are excluded from the
+    #: level's compaction score, so retaining popular keys does not
+    #: re-trigger compaction of the level that holds them — the
+    #: level-sizing accommodation that keeps pinning from churning
+    #: (§4.3's "placer must take level sizing into account").
+    pin_reserve_fraction: float = 0.5
+    #: RNG seed for skiplists and any stochastic policy decisions.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memtable_bytes <= 0:
+            raise ConfigError("memtable_bytes must be positive")
+        if self.block_bytes <= 0 or self.block_bytes > self.target_file_bytes:
+            raise ConfigError("block_bytes must be in (0, target_file_bytes]")
+        if self.num_levels < 2:
+            raise ConfigError("num_levels must be at least 2")
+        if self.l0_compaction_trigger < 1:
+            raise ConfigError("l0_compaction_trigger must be >= 1")
+        if self.level_size_multiplier < 2:
+            raise ConfigError("level_size_multiplier must be >= 2")
+        if self.level1_target_bytes < self.target_file_bytes:
+            raise ConfigError("level1_target_bytes must hold at least one file")
+
+    def level_target_bytes(self, level: int) -> int:
+        """Size target of ``level``; L0's target is the trigger in bytes."""
+        if not 0 <= level < self.num_levels:
+            raise ValueError(f"level out of range: {level}")
+        if level == 0:
+            return self.l0_compaction_trigger * self.memtable_bytes
+        return self.level1_target_bytes * self.level_size_multiplier ** (level - 1)
+
+    def total_capacity_bytes(self) -> int:
+        """Sum of all level targets."""
+        return sum(self.level_target_bytes(level) for level in range(self.num_levels))
+
+
+def options_for_db_size(
+    db_bytes: int,
+    *,
+    num_levels: int = 5,
+    level_size_multiplier: int = 10,
+    **overrides,
+) -> DBOptions:
+    """Build options whose bottom level holds the bulk of ``db_bytes``.
+
+    Mirrors RocksDB's dynamic level sizing: the bottom level's target is
+    the database size and each shallower level divides by the multiplier,
+    so ~90 % of the data lives at the bottom — matching the paper's
+    configuration where the last level "contains the key space of the
+    entire database" and the NVM:TLC:QLC split is roughly 1:9:90.
+    """
+    if db_bytes <= 0:
+        raise ConfigError("db_bytes must be positive")
+    level1 = int(db_bytes / level_size_multiplier ** (num_levels - 2))
+    defaults = {
+        "memtable_bytes": 16 * KIB,
+        "target_file_bytes": 16 * KIB,
+    }
+    defaults.update(overrides)
+    file_bytes = defaults["target_file_bytes"]
+    level1 = max(level1, file_bytes)
+    return DBOptions(
+        num_levels=num_levels,
+        level_size_multiplier=level_size_multiplier,
+        level1_target_bytes=level1,
+        **defaults,
+    )

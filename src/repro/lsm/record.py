@@ -1,0 +1,89 @@
+"""Internal record representation and ordering.
+
+Every write is versioned with a monotonically increasing sequence number
+and a kind (PUT or DELETE). The LSM's consistency guarantee — readers see
+the newest committed version — rests on the *internal key order*: records
+sort by user key ascending, then by sequence number **descending**, so a
+merge over multiple sources always yields the newest version of a key
+first.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CorruptionError
+
+
+class ValueKind(enum.IntEnum):
+    """Record type tag; DELETE records are tombstones."""
+
+    DELETE = 0
+    PUT = 1
+
+
+#: Largest sequence number; used to build seek keys that sort before all
+#: versions of a user key (because seqnos sort descending internally).
+MAX_SEQNO = (1 << 56) - 1
+
+_HEADER = struct.Struct("<HIBQ")  # key_len, value_len, kind, seqno
+
+
+@dataclass(frozen=True)
+class Record:
+    """One versioned key-value record."""
+
+    user_key: bytes
+    seqno: int
+    kind: ValueKind
+    value: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.seqno <= MAX_SEQNO:
+            raise ValueError(f"seqno out of range: {self.seqno}")
+        if len(self.user_key) > 0xFFFF:
+            raise ValueError(f"key too long: {len(self.user_key)} bytes")
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.kind == ValueKind.DELETE
+
+    def internal_sort_key(self) -> tuple[bytes, int]:
+        """Sort key: user key ascending, then seqno descending."""
+        return (self.user_key, MAX_SEQNO - self.seqno)
+
+    def encoded_size(self) -> int:
+        return _HEADER.size + len(self.user_key) + len(self.value)
+
+    def encode(self) -> bytes:
+        """Serialize to the on-"disk" wire format."""
+        return (
+            _HEADER.pack(len(self.user_key), len(self.value), int(self.kind), self.seqno)
+            + self.user_key
+            + self.value
+        )
+
+    @staticmethod
+    def decode_from(buf: bytes, offset: int) -> tuple["Record", int]:
+        """Decode one record at ``offset``; returns (record, next_offset)."""
+        if offset + _HEADER.size > len(buf):
+            raise CorruptionError(f"truncated record header at offset {offset}")
+        key_len, value_len, kind, seqno = _HEADER.unpack_from(buf, offset)
+        start = offset + _HEADER.size
+        end = start + key_len + value_len
+        if end > len(buf):
+            raise CorruptionError(f"truncated record body at offset {offset}")
+        try:
+            value_kind = ValueKind(kind)
+        except ValueError as exc:
+            raise CorruptionError(f"bad record kind {kind} at offset {offset}") from exc
+        user_key = buf[start : start + key_len]
+        value = buf[start + key_len : end]
+        return Record(user_key, seqno, value_kind, value), end
+
+
+def record_sort_key(record: Record) -> tuple[bytes, int]:
+    """Module-level alias usable as a ``sorted`` key function."""
+    return record.internal_sort_key()

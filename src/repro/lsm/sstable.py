@@ -1,0 +1,451 @@
+"""Sorted String Tables.
+
+An SSTable is one immutable on-"disk" file: a run of 4 KB data blocks in
+internal-key order, followed by a bloom-filter block and an index block.
+The read path is the one the paper describes for RocksDB: consult the
+filter (skip the file if definitely absent), binary-search the index for
+the data block, read the block, binary-search inside it. Every block
+access flows through the shared :class:`~repro.lsm.block_cache.BlockCache`
+so DRAM hits and device misses are charged faithfully.
+
+Each table also carries the *popularity score* PrismDB assigns at build
+time (Σ clockⁿ over its entries, §4.3), used by the read-aware compaction
+picker.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import CorruptionError
+from repro.lsm.block import DataBlockBuilder, decode_block, search_block
+from repro.lsm.block_cache import BlockCache, BlockType
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.record import Record
+from repro.storage.backend import SimFile, StorageBackend
+from repro.storage.device import DRAM_SPEC
+from repro.storage.tier import StorageTier
+
+_INDEX_COUNT = struct.Struct("<I")
+_INDEX_ENTRY = struct.Struct("<HQI")  # key_len, offset, length
+
+#: Fixed part of the footer: data_len, filter_off, filter_len,
+#: index_off, index_len, entry_count, tombstones, max_seqno,
+#: popularity score, created_at.
+_FOOTER_FIXED = struct.Struct("<QQIQIIIQdd")
+#: Footer tail, at the very end of the file: smallest_len, largest_len,
+#: magic.
+_FOOTER_TAIL = struct.Struct("<HHI")
+_FOOTER_MAGIC = 0x5052534D  # "PRSM"
+
+#: Score assigned to keys absent from the tracker (§4.3).
+UNTRACKED_CLOCK_VALUE = -1
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Points at one data block; ``last_key`` is the block's final user key."""
+
+    last_key: bytes
+    offset: int
+    length: int
+
+
+def encode_index(entries: list[IndexEntry]) -> bytes:
+    parts = [_INDEX_COUNT.pack(len(entries))]
+    for entry in entries:
+        parts.append(_INDEX_ENTRY.pack(len(entry.last_key), entry.offset, entry.length))
+        parts.append(entry.last_key)
+    return b"".join(parts)
+
+
+def decode_index(buf: bytes) -> list[IndexEntry]:
+    if len(buf) < _INDEX_COUNT.size:
+        raise CorruptionError("truncated index block")
+    (count,) = _INDEX_COUNT.unpack_from(buf, 0)
+    entries: list[IndexEntry] = []
+    pos = _INDEX_COUNT.size
+    for _ in range(count):
+        if pos + _INDEX_ENTRY.size > len(buf):
+            raise CorruptionError("truncated index entry")
+        key_len, offset, length = _INDEX_ENTRY.unpack_from(buf, pos)
+        pos += _INDEX_ENTRY.size
+        last_key = buf[pos : pos + key_len]
+        if len(last_key) != key_len:
+            raise CorruptionError("truncated index key")
+        pos += key_len
+        entries.append(IndexEntry(last_key, offset, length))
+    return entries
+
+
+class SSTable:
+    """Handle to one immutable table: metadata plus the read path."""
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        file: SimFile,
+        *,
+        smallest_key: bytes,
+        largest_key: bytes,
+        entry_count: int,
+        tombstone_count: int,
+        data_length: int,
+        filter_offset: int,
+        filter_length: int,
+        index_offset: int,
+        index_length: int,
+        popularity_score: float,
+        created_at_usec: float,
+        max_seqno: int = 0,
+    ) -> None:
+        self._backend = backend
+        self.file = file
+        self.max_seqno = max_seqno
+        self.smallest_key = smallest_key
+        self.largest_key = largest_key
+        self.entry_count = entry_count
+        self.tombstone_count = tombstone_count
+        self.data_length = data_length
+        self.filter_offset = filter_offset
+        self.filter_length = filter_length
+        self.index_offset = index_offset
+        self.index_length = index_length
+        self.popularity_score = popularity_score
+        self.created_at_usec = created_at_usec
+        self._bloom: BloomFilter | None = None
+        self._index: list[IndexEntry] | None = None
+        self._index_keys: list[bytes] | None = None
+        self._decoded_blocks: dict[int, list[Record]] = {}
+
+    @property
+    def file_id(self) -> int:
+        return self.file.file_id
+
+    @property
+    def size_bytes(self) -> int:
+        return self.file.size
+
+    @property
+    def tier(self) -> StorageTier:
+        return self.file.tier
+
+    def overlaps(self, lo: bytes, hi: bytes) -> bool:
+        """True if [smallest, largest] intersects [lo, hi]."""
+        return not (self.largest_key < lo or hi < self.smallest_key)
+
+    def contains_key_range(self, user_key: bytes) -> bool:
+        return self.smallest_key <= user_key <= self.largest_key
+
+    # ------------------------------------------------------------------
+    # Block fetch helpers (cache-mediated, latency-charged)
+    # ------------------------------------------------------------------
+    def _fetch(self, offset: int, length: int, block_type: BlockType, cache: BlockCache, *, foreground: bool) -> tuple[bytes, float]:
+        def loader() -> tuple[bytes, float]:
+            return self._backend.read(self.file, offset, length, foreground=foreground)
+
+        return cache.get_or_load(self.file_id, offset, block_type, loader)
+
+    def _bloom_filter(self, cache: BlockCache, *, foreground: bool = True) -> tuple[BloomFilter, float]:
+        # Filter blocks behave like RocksDB's table cache: loaded from
+        # the device on first access, then resident in table memory for
+        # the file's lifetime. Resident accesses are DRAM hits.
+        if self._bloom is not None:
+            cache.stats.record_hit(BlockType.FILTER)
+            return self._bloom, DRAM_SPEC.read_time_usec(self.filter_length)
+        data, latency = self._fetch(
+            self.filter_offset, self.filter_length, BlockType.FILTER, cache, foreground=foreground
+        )
+        self._bloom = BloomFilter.decode(data)
+        return self._bloom, latency
+
+    def _index_entries(self, cache: BlockCache, *, foreground: bool = True) -> tuple[list[IndexEntry], float]:
+        # Index blocks live in the table cache as well (see above).
+        if self._index is not None:
+            cache.stats.record_hit(BlockType.INDEX)
+            return self._index, DRAM_SPEC.read_time_usec(self.index_length)
+        data, latency = self._fetch(
+            self.index_offset, self.index_length, BlockType.INDEX, cache, foreground=foreground
+        )
+        self._index = decode_index(data)
+        self._index_keys = [entry.last_key for entry in self._index]
+        return self._index, latency
+
+    def _data_block(self, entry: IndexEntry, cache: BlockCache, *, foreground: bool = True) -> tuple[list[Record], float]:
+        data, latency = self._fetch(
+            entry.offset, entry.length, BlockType.DATA, cache, foreground=foreground
+        )
+        records = self._decoded_blocks.get(entry.offset)
+        if records is None:
+            records = decode_block(data)
+            self._decoded_blocks[entry.offset] = records
+        return records, latency
+
+    # ------------------------------------------------------------------
+    # Point lookup
+    # ------------------------------------------------------------------
+    def get(self, user_key: bytes, cache: BlockCache, *, foreground: bool = True) -> tuple[Record | None, float, bool]:
+        """Look up ``user_key``.
+
+        Returns (record-or-None, simulated latency, filtered) where
+        ``filtered`` is True when the bloom filter short-circuited the
+        lookup without touching index or data blocks.
+        """
+        bloom, latency = self._bloom_filter(cache, foreground=foreground)
+        if not bloom.may_contain(user_key):
+            return None, latency, True
+        index, index_latency = self._index_entries(cache, foreground=foreground)
+        latency += index_latency
+        assert self._index_keys is not None
+        pos = bisect.bisect_left(self._index_keys, user_key)
+        if pos >= len(index):
+            return None, latency, False
+        records, block_latency = self._data_block(index[pos], cache, foreground=foreground)
+        latency += block_latency
+        return search_block(records, user_key), latency, False
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def iter_from(self, user_key: bytes, cache: BlockCache, *, foreground: bool = True) -> Iterator[tuple[Record, float]]:
+        """Yield (record, latency-of-this-step) for keys >= ``user_key``.
+
+        The latency of the index fetch and of each block fetch is
+        attributed to the first record yielded after that fetch.
+        """
+        index, pending_latency = self._index_entries(cache, foreground=foreground)
+        assert self._index_keys is not None
+        pos = bisect.bisect_left(self._index_keys, user_key)
+        for entry in index[pos:]:
+            records, block_latency = self._data_block(entry, cache, foreground=foreground)
+            pending_latency += block_latency
+            for record in records:
+                if record.user_key < user_key:
+                    continue
+                yield record, pending_latency
+                pending_latency = 0.0
+
+    def read_all_records(self, *, foreground: bool = False) -> tuple[list[Record], float]:
+        """Sequentially read every record (compaction input scan)."""
+        data, latency = self._backend.read(self.file, 0, self.data_length, foreground=foreground)
+        records: list[Record] = []
+        pos = 0
+        # Blocks are parsed via the index so boundaries are exact.
+        index, index_latency = self._index_from_disk(foreground=foreground)
+        latency += index_latency
+        for entry in index:
+            block = data[entry.offset : entry.offset + entry.length]
+            cached = self._decoded_blocks.get(entry.offset)
+            if cached is None:
+                cached = decode_block(block)
+                self._decoded_blocks[entry.offset] = cached
+            records.extend(cached)
+            pos += entry.length
+        return records, latency
+
+    def _index_from_disk(self, *, foreground: bool) -> tuple[list[IndexEntry], float]:
+        if self._index is not None:
+            return self._index, 0.0
+        data, latency = self._backend.read(
+            self.file, self.index_offset, self.index_length, foreground=foreground
+        )
+        self._index = decode_index(data)
+        self._index_keys = [entry.last_key for entry in self._index]
+        return self._index, latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSTable(id={self.file_id}, tier={self.tier.name}, "
+            f"[{self.smallest_key!r}..{self.largest_key!r}], "
+            f"{self.entry_count} entries, score={self.popularity_score:.0f})"
+        )
+
+    @staticmethod
+    def open(backend: StorageBackend, file: SimFile, *, foreground: bool = False) -> "SSTable":
+        """Reconstruct a table handle from its on-"disk" footer.
+
+        The restart path: reads the footer tail, then the fixed footer
+        and boundary keys, and returns a handle with cold (not yet
+        resident) filter and index. Raises :class:`CorruptionError` on a
+        bad magic number or malformed footer.
+        """
+        tail_size = _FOOTER_TAIL.size
+        if file.size < tail_size:
+            raise CorruptionError(f"file {file.file_id} too small for a footer")
+        tail_bytes, _ = backend.read(file, file.size - tail_size, tail_size, foreground=foreground)
+        smallest_len, largest_len, magic = _FOOTER_TAIL.unpack(tail_bytes)
+        if magic != _FOOTER_MAGIC:
+            raise CorruptionError(f"file {file.file_id}: bad footer magic {magic:#x}")
+        footer_size = _FOOTER_FIXED.size + smallest_len + largest_len + tail_size
+        if file.size < footer_size:
+            raise CorruptionError(f"file {file.file_id}: truncated footer")
+        footer_bytes, _ = backend.read(
+            file, file.size - footer_size, footer_size - tail_size, foreground=foreground
+        )
+        (
+            data_length,
+            filter_offset,
+            filter_length,
+            index_offset,
+            index_length,
+            entry_count,
+            tombstone_count,
+            max_seqno,
+            popularity_score,
+            created_at_usec,
+        ) = _FOOTER_FIXED.unpack_from(footer_bytes, 0)
+        keys_start = _FOOTER_FIXED.size
+        smallest_key = footer_bytes[keys_start : keys_start + smallest_len]
+        largest_key = footer_bytes[keys_start + smallest_len : keys_start + smallest_len + largest_len]
+        return SSTable(
+            backend,
+            file,
+            smallest_key=smallest_key,
+            largest_key=largest_key,
+            entry_count=entry_count,
+            tombstone_count=tombstone_count,
+            data_length=data_length,
+            filter_offset=filter_offset,
+            filter_length=filter_length,
+            index_offset=index_offset,
+            index_length=index_length,
+            popularity_score=popularity_score,
+            created_at_usec=created_at_usec,
+            max_seqno=max_seqno,
+        )
+
+
+class SSTableBuilder:
+    """Builds one SSTable from records supplied in internal-key order.
+
+    ``clock_value_fn`` maps a user key to its tracker CLOCK value (or
+    :data:`UNTRACKED_CLOCK_VALUE`); the builder accumulates the paper's
+    popularity score Σ clockⁿ as entries stream in.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        tier: StorageTier,
+        *,
+        block_bytes: int,
+        target_file_bytes: int,
+        bits_per_key: int = 10,
+        clock_value_fn: Callable[[bytes], int] | None = None,
+        score_exponent: int = 3,
+    ) -> None:
+        self._backend = backend
+        self._tier = tier
+        self._block_bytes = block_bytes
+        self.target_file_bytes = target_file_bytes
+        self._bits_per_key = bits_per_key
+        self._clock_value_fn = clock_value_fn
+        self._score_exponent = score_exponent
+        self._block = DataBlockBuilder(block_bytes)
+        self._finished_blocks: list[bytes] = []
+        self._index: list[IndexEntry] = []
+        self._data_bytes = 0
+        self._keys: list[bytes] = []
+        self._smallest: bytes | None = None
+        self._largest: bytes | None = None
+        self._entry_count = 0
+        self._tombstones = 0
+        self._max_seqno = 0
+        self._score = 0.0
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    @property
+    def estimated_bytes(self) -> int:
+        return self._data_bytes + self._block.estimated_bytes
+
+    def should_finish(self) -> bool:
+        """True when the file has reached its target size."""
+        return self.estimated_bytes >= self.target_file_bytes
+
+    def add(self, record: Record) -> None:
+        if self._smallest is None:
+            self._smallest = record.user_key
+        self._largest = record.user_key
+        self._block.add(record)
+        self._keys.append(record.user_key)
+        self._entry_count += 1
+        if record.is_tombstone:
+            self._tombstones += 1
+        if record.seqno > self._max_seqno:
+            self._max_seqno = record.seqno
+        if self._clock_value_fn is not None:
+            clock = self._clock_value_fn(record.user_key)
+            self._score += float(clock) ** self._score_exponent
+        if self._block.is_full():
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if len(self._block) == 0:
+            return
+        last_key = self._block.last_key
+        assert last_key is not None
+        payload = self._block.finish()
+        self._index.append(IndexEntry(last_key, self._data_bytes, len(payload)))
+        self._finished_blocks.append(payload)
+        self._data_bytes += len(payload)
+
+    def finish(self, *, foreground: bool = False) -> tuple[SSTable, float]:
+        """Serialize remaining state and write the file to the tier."""
+        if self._entry_count == 0:
+            raise ValueError("cannot finish an empty SSTable")
+        self._flush_block()
+        bloom = BloomFilter.for_capacity(len(self._keys), self._bits_per_key)
+        for key in self._keys:
+            bloom.add(key)
+        filter_block = bloom.encode()
+        index_block = encode_index(self._index)
+        assert self._smallest is not None and self._largest is not None
+        created_at = self._backend.clock.now
+        footer = (
+            _FOOTER_FIXED.pack(
+                self._data_bytes,
+                self._data_bytes,
+                len(filter_block),
+                self._data_bytes + len(filter_block),
+                len(index_block),
+                self._entry_count,
+                self._tombstones,
+                self._max_seqno,
+                self._score,
+                created_at,
+            )
+            + self._smallest
+            + self._largest
+            + _FOOTER_TAIL.pack(len(self._smallest), len(self._largest), _FOOTER_MAGIC)
+        )
+        payload = b"".join(self._finished_blocks) + filter_block + index_block + footer
+        file, latency = self._backend.create_file(self._tier, payload, foreground=foreground)
+        table = SSTable(
+            self._backend,
+            file,
+            smallest_key=self._smallest,
+            largest_key=self._largest,
+            entry_count=self._entry_count,
+            tombstone_count=self._tombstones,
+            data_length=self._data_bytes,
+            filter_offset=self._data_bytes,
+            filter_length=len(filter_block),
+            index_offset=self._data_bytes + len(filter_block),
+            index_length=len(index_block),
+            popularity_score=self._score,
+            created_at_usec=created_at,
+            max_seqno=self._max_seqno,
+        )
+        # A freshly written table's filter and index are already in
+        # memory (we just built them): resident from birth, as in
+        # RocksDB's table cache.
+        table._bloom = bloom
+        table._index = list(self._index)
+        table._index_keys = [entry.last_key for entry in self._index]
+        return table, latency

@@ -1,0 +1,135 @@
+"""The level manifest: which SSTables live at which level.
+
+L0 files may overlap each other and are ordered newest-first (a point
+read must consult them in that order). L1 and deeper hold
+pairwise-disjoint files kept sorted by smallest key, so a point read
+touches at most one file per level. ``check_invariants`` verifies both
+structural rules plus the LSM consistency guarantee the paper's pinned
+compaction must preserve: for any user key, versions are ordered
+newest-at-the-top across levels.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.errors import CompactionError
+from repro.lsm.sstable import SSTable
+
+
+class LevelManifest:
+    """Mutable mapping of levels to SSTable lists."""
+
+    def __init__(self, num_levels: int) -> None:
+        if num_levels < 2:
+            raise ValueError(f"need at least two levels: {num_levels}")
+        self._levels: list[list[SSTable]] = [[] for _ in range(num_levels)]
+        #: Optional observer with record_add/record_remove(level, file_id),
+        #: used to persist version edits to the MANIFEST log.
+        self.observer = None
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._levels)
+
+    def files(self, level: int) -> list[SSTable]:
+        """The file list of a level (L0 newest-first; L1+ key-sorted)."""
+        return self._levels[level]
+
+    def all_files(self) -> Iterator[tuple[int, SSTable]]:
+        for level, files in enumerate(self._levels):
+            for table in files:
+                yield level, table
+
+    def file_count(self, level: int | None = None) -> int:
+        if level is not None:
+            return len(self._levels[level])
+        return sum(len(files) for files in self._levels)
+
+    def level_bytes(self, level: int) -> int:
+        return sum(table.size_bytes for table in self._levels[level])
+
+    def total_bytes(self) -> int:
+        return sum(self.level_bytes(level) for level in range(self.num_levels))
+
+    def level_of(self, table: SSTable) -> int | None:
+        for level, files in enumerate(self._levels):
+            if table in files:
+                return level
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_file(self, level: int, table: SSTable) -> None:
+        files = self._levels[level]
+        if level == 0:
+            files.insert(0, table)  # newest first
+            if self.observer is not None:
+                self.observer.record_add(level, table.file_id)
+            return
+        keys = [existing.smallest_key for existing in files]
+        pos = bisect.bisect_left(keys, table.smallest_key)
+        # Reject overlap with sorted neighbours: the level invariant.
+        if pos > 0 and files[pos - 1].largest_key >= table.smallest_key:
+            raise CompactionError(
+                f"L{level}: new file [{table.smallest_key!r}..{table.largest_key!r}] "
+                f"overlaps [{files[pos - 1].smallest_key!r}..{files[pos - 1].largest_key!r}]"
+            )
+        if pos < len(files) and files[pos].smallest_key <= table.largest_key:
+            raise CompactionError(
+                f"L{level}: new file [{table.smallest_key!r}..{table.largest_key!r}] "
+                f"overlaps [{files[pos].smallest_key!r}..{files[pos].largest_key!r}]"
+            )
+        files.insert(pos, table)
+        if self.observer is not None:
+            self.observer.record_add(level, table.file_id)
+
+    def remove_file(self, level: int, table: SSTable) -> None:
+        try:
+            self._levels[level].remove(table)
+        except ValueError as exc:
+            raise CompactionError(
+                f"file {table.file_id} not present at L{level}"
+            ) from exc
+        if self.observer is not None:
+            self.observer.record_remove(level, table.file_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def candidates_for_key(self, level: int, user_key: bytes) -> list[SSTable]:
+        """Files at ``level`` that may contain ``user_key``, probe order."""
+        files = self._levels[level]
+        if level == 0:
+            return [table for table in files if table.contains_key_range(user_key)]
+        keys = [table.largest_key for table in files]
+        pos = bisect.bisect_left(keys, user_key)
+        if pos < len(files) and files[pos].contains_key_range(user_key):
+            return [files[pos]]
+        return []
+
+    def overlapping_files(self, level: int, lo: bytes, hi: bytes) -> list[SSTable]:
+        """All files at ``level`` intersecting [lo, hi]."""
+        return [table for table in self._levels[level] if table.overlaps(lo, hi)]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`CompactionError` on any structural violation."""
+        for level in range(1, self.num_levels):
+            files = self._levels[level]
+            for table in files:
+                if table.smallest_key > table.largest_key:
+                    raise CompactionError(
+                        f"L{level} file {table.file_id} has inverted key range"
+                    )
+            for left, right in zip(files, files[1:]):
+                if left.smallest_key > right.smallest_key:
+                    raise CompactionError(f"L{level} files out of order")
+                if left.largest_key >= right.smallest_key:
+                    raise CompactionError(
+                        f"L{level} files {left.file_id} and {right.file_id} overlap"
+                    )

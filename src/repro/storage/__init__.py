@@ -1,0 +1,50 @@
+"""Simulated heterogeneous storage substrate.
+
+Device models (Table 1 parameters), capacity-tracked tiers, a simulated
+file backend that charges every access to a device, and the endurance
+provisioning math behind the paper's cost model.
+"""
+
+from repro.storage.backend import BackendStats, SimFile, StorageBackend
+from repro.storage.device import (
+    DRAM_SPEC,
+    NVM_SPEC,
+    QLC_SPEC,
+    SPECS_BY_CODE,
+    SPECS_BY_NAME,
+    TLC_SPEC,
+    Device,
+    DeviceSpec,
+    DeviceStats,
+    fio_large_write_latency,
+    fio_random_read_latency,
+)
+from repro.storage.endurance import (
+    DEFAULT_LIFETIME_SECONDS,
+    ProvisioningResult,
+    device_lifetime_seconds,
+    provision_capacity,
+)
+from repro.storage.tier import StorageTier
+
+__all__ = [
+    "BackendStats",
+    "SimFile",
+    "StorageBackend",
+    "DRAM_SPEC",
+    "NVM_SPEC",
+    "QLC_SPEC",
+    "TLC_SPEC",
+    "SPECS_BY_CODE",
+    "SPECS_BY_NAME",
+    "Device",
+    "DeviceSpec",
+    "DeviceStats",
+    "fio_large_write_latency",
+    "fio_random_read_latency",
+    "DEFAULT_LIFETIME_SECONDS",
+    "ProvisioningResult",
+    "device_lifetime_seconds",
+    "provision_capacity",
+    "StorageTier",
+]

@@ -1,0 +1,28 @@
+"""YCSB-style workload generators."""
+
+from repro.workloads.trace import TraceWorkload, dump_trace, load_trace
+from repro.workloads.ycsb import OpKind, Request, YCSBConfig, YCSBWorkload
+from repro.workloads.zipfian import (
+    KeyIndexGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    make_generator,
+)
+
+__all__ = [
+    "TraceWorkload",
+    "dump_trace",
+    "load_trace",
+    "OpKind",
+    "Request",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "KeyIndexGenerator",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "make_generator",
+]

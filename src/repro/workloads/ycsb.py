@@ -1,0 +1,159 @@
+"""YCSB-style workload definition and request streams.
+
+A :class:`YCSBWorkload` mirrors the knobs the paper exercises (§6): record
+count, operation count, read/update mix, request distribution (Zipfian
+with a parameter, "latest", uniform), and value size. The workload yields
+a deterministic request stream given a seed, so every system is measured
+against byte-identical traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.rng import make_rng
+from repro.errors import ConfigError
+from repro.workloads.zipfian import LatestGenerator, make_generator
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One operation in the stream."""
+
+    kind: OpKind
+    key: bytes
+    value: bytes = b""
+    scan_length: int = 0
+
+
+@dataclass
+class YCSBConfig:
+    """Workload parameters (defaults: the paper's 95/5 zipf-0.99 setup)."""
+
+    record_count: int = 100_000
+    operation_count: int = 200_000
+    read_proportion: float = 0.95
+    update_proportion: float = 0.05
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    distribution: str = "zipfian"
+    zipf_theta: float = 0.99
+    value_bytes: int = 100
+    max_scan_length: int = 100
+    #: Unmeasured operations run before the measured phase so systems
+    #: reach steady state (tracker full, hot set settled). The paper's
+    #: 50M-request runs amortize warm-up; short simulated runs must warm
+    #: up explicitly.
+    warmup_operations: int = 0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.record_count <= 0:
+            raise ConfigError("record_count must be positive")
+        if self.operation_count < 0:
+            raise ConfigError("operation_count must be non-negative")
+        total = (
+            self.read_proportion
+            + self.update_proportion
+            + self.insert_proportion
+            + self.scan_proportion
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"operation proportions must sum to 1.0, got {total}")
+        if self.value_bytes <= 0:
+            raise ConfigError("value_bytes must be positive")
+
+    @staticmethod
+    def read_update(read_pct: int, **overrides) -> "YCSBConfig":
+        """Shorthand for the paper's read/update sweeps, e.g. 95 -> 95/5."""
+        if not 0 <= read_pct <= 100:
+            raise ConfigError(f"read_pct out of range: {read_pct}")
+        return YCSBConfig(
+            read_proportion=read_pct / 100.0,
+            update_proportion=1.0 - read_pct / 100.0,
+            **overrides,
+        )
+
+
+class YCSBWorkload:
+    """Generates the load phase and the (deterministic) run phase."""
+
+    KEY_FORMAT = "user%012d"
+
+    def __init__(self, config: YCSBConfig) -> None:
+        self.config = config
+        self._insert_count = config.record_count
+
+    def key(self, index: int) -> bytes:
+        """Format a key index the way YCSB does."""
+        return (self.KEY_FORMAT % index).encode("ascii")
+
+    def value_for(self, key: bytes, rng) -> bytes:
+        """A pseudo-random value of the configured size."""
+        return rng.randbytes(self.config.value_bytes)
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def load_stream(self) -> Iterator[Request]:
+        """Insert every record once, in key order (YCSB's load phase)."""
+        rng = make_rng(self.config.seed, "load")
+        for index in range(self.config.record_count):
+            key = self.key(index)
+            yield Request(OpKind.INSERT, key, self.value_for(key, rng))
+
+    def warmup_stream(self) -> Iterator[Request]:
+        """Unmeasured steady-state warm-up traffic (same mix, own seed)."""
+        return self._op_stream("warmup", self.config.warmup_operations)
+
+    def run_stream(self) -> Iterator[Request]:
+        """The transaction phase: a deterministic mixed request stream."""
+        return self._op_stream("ops", self.config.operation_count)
+
+    def _op_stream(self, phase: str, count: int) -> Iterator[Request]:
+        cfg = self.config
+        op_rng = make_rng(cfg.seed, phase, "ops")
+        key_rng = make_rng(cfg.seed, phase, "keys")
+        value_rng = make_rng(cfg.seed, phase, "values")
+        generator = make_generator(cfg.distribution, cfg.record_count, cfg.zipf_theta, key_rng)
+        insert_cursor = cfg.record_count
+        read_cut = cfg.read_proportion
+        update_cut = read_cut + cfg.update_proportion
+        insert_cut = update_cut + cfg.insert_proportion
+        for _ in range(count):
+            dice = op_rng.random()
+            if dice < read_cut:
+                yield Request(OpKind.READ, self.key(self._bounded(generator.next_index(), insert_cursor)))
+            elif dice < update_cut:
+                key = self.key(self._bounded(generator.next_index(), insert_cursor))
+                yield Request(OpKind.UPDATE, key, self.value_for(key, value_rng))
+            elif dice < insert_cut:
+                key = self.key(insert_cursor)
+                insert_cursor += 1
+                if isinstance(generator, LatestGenerator):
+                    generator.note_insert()
+                yield Request(OpKind.INSERT, key, self.value_for(key, value_rng))
+            else:
+                start = self.key(self._bounded(generator.next_index(), insert_cursor))
+                length = 1 + op_rng.randrange(cfg.max_scan_length)
+                yield Request(OpKind.SCAN, start, scan_length=length)
+
+    @staticmethod
+    def _bounded(index: int, limit: int) -> int:
+        """Clamp generator output to keys that exist (inserts grow it)."""
+        return index if index < limit else index % limit
+
+    def total_data_bytes(self) -> int:
+        """Approximate serialized size of the loaded data set."""
+        key_bytes = len(self.key(0))
+        # Record framing overhead: header (15 B) per entry.
+        return self.config.record_count * (key_bytes + self.config.value_bytes + 15)

@@ -1,0 +1,60 @@
+"""Tests for amplification accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import IOBreakdown, read_amplification, write_amplification
+
+
+def breakdown(**kwargs):
+    defaults = dict(user_write_bytes=1000, user_read_bytes=1000)
+    defaults.update(kwargs)
+    return IOBreakdown(**defaults)
+
+
+class TestIOBreakdown:
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ValueError):
+            breakdown(wal_bytes=-1)
+
+    def test_totals(self):
+        io = breakdown(
+            wal_bytes=10,
+            flush_bytes=20,
+            compaction_write_bytes=30,
+            migration_bytes=5,
+            compaction_read_bytes=40,
+            foreground_read_bytes=50,
+        )
+        assert io.total_device_write_bytes == 65
+        assert io.total_device_read_bytes == 95
+
+
+class TestWriteAmplification:
+    def test_no_user_writes_is_zero(self):
+        assert write_amplification(breakdown(user_write_bytes=0)) == 0.0
+
+    def test_wal_plus_flush_is_at_least_two(self):
+        io = breakdown(user_write_bytes=100, wal_bytes=100, flush_bytes=100)
+        assert write_amplification(io) == pytest.approx(2.0)
+
+    def test_compaction_inflates(self):
+        base = breakdown(user_write_bytes=100, flush_bytes=100)
+        more = breakdown(user_write_bytes=100, flush_bytes=100, compaction_write_bytes=400)
+        assert write_amplification(more) > write_amplification(base)
+
+    @given(st.integers(1, 10**9), st.integers(0, 10**9), st.integers(0, 10**9))
+    def test_never_negative(self, user, wal, compaction):
+        io = breakdown(user_write_bytes=user, wal_bytes=wal, compaction_write_bytes=compaction)
+        assert write_amplification(io) >= 0.0
+
+
+class TestReadAmplification:
+    def test_no_user_reads_is_zero(self):
+        assert read_amplification(breakdown(user_read_bytes=0)) == 0.0
+
+    def test_block_granularity_shows_up(self):
+        # Reading 4 KB blocks to serve 100 B objects -> RA of ~40.
+        io = breakdown(user_read_bytes=100, foreground_read_bytes=4096)
+        assert read_amplification(io) == pytest.approx(40.96)

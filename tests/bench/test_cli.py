@@ -1,0 +1,41 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig9a", "fig14"):
+            assert name in out
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_analytic_experiments_run(self, capsys):
+        assert main(["table1", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "P/E cycles" in out
+        assert "QQQQQ" in out
+
+    def test_registry_covers_every_artifact(self):
+        # Every table and figure in the paper's evaluation is present.
+        expected = {
+            "table1", "table2", "table3", "table4",
+            "fig2a", "fig3", "fig4", "fig6",
+            "fig9a", "fig9b", "fig10ab", "fig10cd",
+            "fig11", "fig12", "fig13", "fig14",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_fig6_via_cli(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "clock3" in capsys.readouterr().out

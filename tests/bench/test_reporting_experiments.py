@@ -1,0 +1,75 @@
+"""Tests for reporting and the analytic experiment functions."""
+
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentScale,
+    fig4_cost_latency,
+    fig6_clock_distribution,
+    table1_devices,
+    table3_storage_costs,
+)
+from repro.bench.reporting import fmt, format_experiment, format_table, pct
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long_header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_format_experiment_has_title_and_notes(self):
+        text = format_experiment("My Title", ["x"], [[1]], notes="a note")
+        assert "== My Title ==" in text
+        assert "a note" in text
+
+    def test_fmt_and_pct(self):
+        assert fmt(1.234) == "1.2"
+        assert fmt(1.234, 2) == "1.23"
+        assert pct(0.5) == "50.0%"
+
+
+class TestAnalyticExperiments:
+    def test_table1_rows(self):
+        headers, rows = table1_devices()
+        assert headers == ["", "NVM", "TLC", "QLC"]
+        assert len(rows) == 4
+        assert rows[0][1:] == [18_000, 540, 200]
+
+    def test_table3_rows(self):
+        headers, rows = table3_storage_costs()
+        assert "QQQQQ" in headers
+        assert rows[0][0] == "Storage Cost"
+        assert all(cell.startswith("$") for cell in rows[0][1:])
+
+    def test_fig4_rows(self):
+        headers, rows = fig4_cost_latency()
+        assert len(rows) == 243
+        pareto_marks = [row for row in rows if row[3] == "*"]
+        assert pareto_marks
+        # Sorted by latency.
+        latencies = [float(row[1]) for row in rows]
+        assert latencies == sorted(latencies)
+
+    def test_fig6_rows_converge(self):
+        headers, rows = fig6_clock_distribution(
+            n_keys=2_000, snapshots=(500, 2_000, 8_000)
+        )
+        assert len(rows) == 3
+        assert rows[-1][-1] == "yes"  # tracker fills
+        fractions = [float(cell.rstrip("%")) for cell in rows[-1][1:5]]
+        assert sum(fractions) == pytest.approx(100.0, abs=1.0)
+
+
+class TestScale:
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+        quick = ExperimentScale.from_env()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        full = ExperimentScale.from_env()
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        default = ExperimentScale.from_env()
+        assert quick.record_count < default.record_count < full.record_count

@@ -1,0 +1,47 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.common import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(2.5)
+        assert clock.now == 12.5
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock(1.0)
+        assert clock.advance(4.0) == 5.0
+
+    def test_advance_rejects_negative_delta(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock(3.0)
+        clock.advance(0.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(50.0)
+        clock.advance_to(10.0)
+        assert clock.now == 50.0

@@ -1,0 +1,97 @@
+"""Tests for latency recording and counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import CounterSet, LatencyRecorder, throughput_kops
+
+
+class TestLatencyRecorder:
+    def test_empty_summary_is_zero(self):
+        summary = LatencyRecorder().summary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.p99 == 0.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_single_sample(self):
+        rec = LatencyRecorder()
+        rec.record(42.0)
+        summary = rec.summary()
+        assert summary.count == 1
+        assert summary.mean == 42.0
+        assert summary.p50 == 42.0
+        assert summary.p99 == 42.0
+        assert summary.maximum == 42.0
+
+    def test_percentiles_on_uniform_ramp(self):
+        rec = LatencyRecorder()
+        for i in range(1, 101):
+            rec.record(float(i))
+        summary = rec.summary()
+        assert summary.p50 == 50.0
+        assert summary.p95 == 95.0
+        assert summary.p99 == 99.0
+        assert summary.maximum == 100.0
+        assert summary.mean == pytest.approx(50.5)
+
+    def test_percentile_method_bounds(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(101.0)
+        with pytest.raises(ValueError):
+            rec.percentile(-1.0)
+
+    def test_len_tracks_samples(self):
+        rec = LatencyRecorder()
+        assert len(rec) == 0
+        rec.record(1.0)
+        rec.record(2.0)
+        assert len(rec) == 2
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+    def test_summary_invariants(self, samples):
+        rec = LatencyRecorder()
+        for s in samples:
+            rec.record(s)
+        summary = rec.summary()
+        assert summary.count == len(samples)
+        assert min(samples) <= summary.p50 <= summary.maximum
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+        assert summary.maximum == max(samples)
+
+
+class TestCounterSet:
+    def test_default_is_zero(self):
+        assert CounterSet().get("nope") == 0
+
+    def test_add_accumulates(self):
+        counters = CounterSet()
+        counters.add("reads")
+        counters.add("reads", 4)
+        assert counters.get("reads") == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            CounterSet().add("x", -1)
+
+    def test_as_dict_is_a_copy(self):
+        counters = CounterSet()
+        counters.add("a", 1)
+        snapshot = counters.as_dict()
+        snapshot["a"] = 99
+        assert counters.get("a") == 1
+
+
+class TestThroughput:
+    def test_zero_elapsed_gives_zero(self):
+        assert throughput_kops(100, 0.0) == 0.0
+
+    def test_kops_conversion(self):
+        # 1000 ops in one simulated second = 1 kops.
+        assert throughput_kops(1000, 1_000_000.0) == pytest.approx(1.0)

@@ -1,0 +1,73 @@
+"""Tests for unit helpers and deterministic RNG derivation."""
+
+import pytest
+
+from repro.common import (
+    GIB,
+    KIB,
+    MIB,
+    bytes_to_gib,
+    derive_seed,
+    fnv1a_64,
+    format_bytes,
+    format_usec,
+    make_rng,
+    milliseconds,
+    seconds,
+    usec_to_seconds,
+)
+
+
+class TestUnits:
+    def test_binary_units(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_time_conversions_round_trip(self):
+        assert seconds(1) == 1_000_000.0
+        assert milliseconds(1) == 1_000.0
+        assert usec_to_seconds(seconds(2.5)) == pytest.approx(2.5)
+
+    def test_bytes_to_gib(self):
+        assert bytes_to_gib(GIB) == 1.0
+        assert bytes_to_gib(512 * MIB) == 0.5
+
+    def test_format_bytes(self):
+        assert format_bytes(100) == "100 B"
+        assert format_bytes(2048) == "2.0 KiB"
+        assert format_bytes(3 * MIB) == "3.0 MiB"
+
+    def test_format_usec(self):
+        assert format_usec(500) == "500.0 us"
+        assert format_usec(2500) == "2.50 ms"
+        assert format_usec(3_000_000) == "3.00 s"
+
+
+class TestRng:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_derive_seed_differs_by_label(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_derive_seed_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_path_is_not_ambiguous(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+
+    def test_make_rng_streams_are_reproducible(self):
+        a = make_rng(9, "workload")
+        b = make_rng(9, "workload")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_fnv1a_is_stable(self):
+        # Known FNV-1a 64-bit value for empty input is the offset basis.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"key") == fnv1a_64(b"key")
+        assert fnv1a_64(b"key1") != fnv1a_64(b"key2")
+
+    def test_fnv1a_fits_64_bits(self):
+        assert fnv1a_64(b"some longer input value") < (1 << 64)

@@ -1,0 +1,161 @@
+"""Tests for the read-aware router and the lowest-score picker."""
+
+import pytest
+
+from repro.common import KIB, MIB, SimClock
+from repro.core.mapper import ClockDistributionMapper
+from repro.core.placer import LowestScorePicker, ReadAwareRouter
+from repro.core.tracker import ClockTracker
+from repro.errors import ConfigError
+from repro.lsm.record import Record, ValueKind
+from repro.lsm.sstable import SSTableBuilder
+from repro.lsm.version import LevelManifest
+from repro.storage import NVM_SPEC, StorageBackend, StorageTier
+
+
+def make_router(capacity=4, threshold=0.5, require_full=False):
+    mapper = ClockDistributionMapper()
+    tracker = ClockTracker(capacity, mapper)
+    router = ReadAwareRouter(
+        tracker, mapper, pinning_threshold=threshold, require_full_tracker=require_full
+    )
+    return router, tracker, mapper
+
+
+def put(key, seqno=1, value=b"v"):
+    return Record(key, seqno, ValueKind.PUT, value)
+
+
+def start_job(router, upper=2, budget=1 << 20):
+    router.begin_job(upper, upper + 1, b"", b"\xff", budget, budget)
+
+
+class TestReadAwareRouter:
+    def test_rejects_bad_threshold(self):
+        mapper = ClockDistributionMapper()
+        tracker = ClockTracker(4, mapper)
+        with pytest.raises(ConfigError):
+            ReadAwareRouter(tracker, mapper, pinning_threshold=1.5)
+
+    def test_hot_key_pins(self):
+        router, tracker, _ = make_router()
+        tracker.on_read(b"hot", 1)
+        tracker.on_read(b"hot", 1)  # clock 3
+        start_job(router)
+        assert router.route_up(put(b"hot"), source_level=2)
+        assert router.stats.pinned == 1
+
+    def test_untracked_key_compacts_down(self):
+        router, _, _ = make_router()
+        start_job(router)
+        assert not router.route_up(put(b"cold"), source_level=2)
+        assert router.stats.rejected_untracked == 1
+
+    def test_tombstones_never_pin(self):
+        router, tracker, _ = make_router()
+        tracker.on_read(b"k", 1)
+        tracker.on_read(b"k", 1)
+        start_job(router)
+        assert not router.route_up(Record(b"k", 5, ValueKind.DELETE), source_level=2)
+        assert router.stats.rejected_tombstone == 1
+
+    def test_no_pinning_into_l0(self):
+        router, tracker, _ = make_router()
+        tracker.on_read(b"hot", 1)
+        tracker.on_read(b"hot", 1)
+        router.begin_job(0, 1, b"", b"\xff", 1 << 20, 1 << 20)
+        assert not router.route_up(put(b"hot"), source_level=0)
+
+    def test_waits_for_full_tracker(self):
+        router, tracker, _ = make_router(capacity=4, require_full=True)
+        tracker.on_read(b"hot", 1)
+        tracker.on_read(b"hot", 1)
+        start_job(router)
+        assert not router.route_up(put(b"hot"), source_level=2)
+        assert router.stats.suspended_tracker_not_full == 1
+        for i in range(4):
+            tracker.on_read(f"fill{i}".encode(), 1)
+        start_job(router)
+        assert router.route_up(put(b"hot"), source_level=2)
+
+    def test_budget_exhaustion_stops_pinning(self):
+        router, tracker, _ = make_router(threshold=1.0)
+        for key in (b"a", b"b"):
+            tracker.on_read(key, 1)
+            tracker.on_read(key, 1)
+        record = put(b"a")
+        router.begin_job(2, 3, b"", b"\xff", record.encoded_size(), record.encoded_size())
+        assert router.route_up(record, source_level=2)
+        assert not router.route_up(put(b"b"), source_level=2)
+        assert router.stats.rejected_budget_exhausted == 1
+
+    def test_pull_budget_separate_from_pin_budget(self):
+        router, tracker, _ = make_router(threshold=1.0)
+        for key in (b"a", b"b"):
+            tracker.on_read(key, 1)
+            tracker.on_read(key, 1)
+        record = put(b"a")
+        # Pin budget is large; pull budget covers nothing.
+        router.begin_job(2, 3, b"", b"\xff", 1 << 20, 0)
+        assert not router.route_up(record, source_level=3)  # pull denied
+        assert router.route_up(record, source_level=2)  # retention allowed
+
+    def test_pull_counted_separately(self):
+        router, tracker, _ = make_router()
+        tracker.on_read(b"hot", 1)
+        tracker.on_read(b"hot", 1)
+        start_job(router)
+        router.route_up(put(b"hot"), source_level=3)  # from the lower level
+        assert router.stats.pulled_up == 1
+        assert router.stats.pinned == 0
+
+    def test_clock_value_fn_reflects_tracker(self):
+        router, tracker, _ = make_router()
+        tracker.on_read(b"k", 1)
+        fn = router.clock_value_fn()
+        assert fn(b"k") == 1
+        assert fn(b"unknown") == -1
+
+    def test_cold_file_allows_trivial_move(self):
+        router, _, _ = make_router()
+
+        class FakeTable:
+            popularity_score = 0.0
+
+        class HotTable:
+            popularity_score = 12.0
+
+        assert router.allows_trivial_move(FakeTable())
+        assert not router.allows_trivial_move(HotTable())
+
+
+class TestLowestScorePicker:
+    def _manifest_with_scores(self, scores):
+        clock = SimClock()
+        backend = StorageBackend(clock)
+        tier = StorageTier("nvm", NVM_SPEC, 64 * MIB, clock)
+        manifest = LevelManifest(3)
+        lo = ord("a")
+        for i, score in enumerate(scores):
+            builder = SSTableBuilder(backend, tier, block_bytes=512, target_file_bytes=4 * KIB)
+            builder.add(put(bytes([lo + i * 2]), seqno=i + 1))
+            table, _ = builder.finish()
+            table.popularity_score = score
+            manifest.add_file(1, table)
+        return manifest
+
+    def test_picks_lowest_score(self):
+        manifest = self._manifest_with_scores([5.0, -3.0, 10.0])
+        picked = LowestScorePicker().pick_files(manifest, 1)
+        assert len(picked) == 1
+        assert picked[0].popularity_score == -3.0
+
+    def test_tie_breaks_to_oldest(self):
+        manifest = self._manifest_with_scores([0.0, 0.0])
+        picked = LowestScorePicker().pick_files(manifest, 1)
+        ids = sorted(t.file_id for t in manifest.files(1))
+        assert picked[0].file_id == ids[0]
+
+    def test_empty_level(self):
+        manifest = LevelManifest(3)
+        assert LowestScorePicker().pick_files(manifest, 1) == []

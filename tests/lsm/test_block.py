@@ -1,0 +1,100 @@
+"""Tests for data block building, decoding and search."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.lsm.block import DataBlockBuilder, decode_block, search_block
+from repro.lsm.record import Record, ValueKind
+
+
+def put(key, seqno, value=b"v"):
+    return Record(key, seqno, ValueKind.PUT, value)
+
+
+class TestDataBlockBuilder:
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            DataBlockBuilder(0)
+
+    def test_round_trip(self):
+        builder = DataBlockBuilder(4096)
+        records = [put(b"a", 3), put(b"b", 2), put(b"c", 1)]
+        for record in records:
+            builder.add(record)
+        assert decode_block(builder.finish()) == records
+
+    def test_rejects_out_of_order_keys(self):
+        builder = DataBlockBuilder(4096)
+        builder.add(put(b"b", 1))
+        with pytest.raises(ValueError):
+            builder.add(put(b"a", 2))
+
+    def test_rejects_duplicate_internal_key(self):
+        builder = DataBlockBuilder(4096)
+        builder.add(put(b"a", 1))
+        with pytest.raises(ValueError):
+            builder.add(put(b"a", 1))
+
+    def test_same_key_descending_seqno_allowed(self):
+        builder = DataBlockBuilder(4096)
+        builder.add(put(b"a", 5))
+        builder.add(put(b"a", 3))  # older version after newer: valid internal order
+        records = decode_block(builder.finish())
+        assert [r.seqno for r in records] == [5, 3]
+
+    def test_is_full_threshold(self):
+        builder = DataBlockBuilder(64)
+        builder.add(put(b"key1", 1, b"x" * 64))
+        assert builder.is_full()
+
+    def test_finish_resets(self):
+        builder = DataBlockBuilder(4096)
+        builder.add(put(b"a", 1))
+        builder.finish()
+        assert len(builder) == 0
+        assert builder.first_key is None
+
+    def test_first_last_key(self):
+        builder = DataBlockBuilder(4096)
+        builder.add(put(b"a", 2))
+        builder.add(put(b"b", 1))
+        assert builder.first_key == b"a"
+        assert builder.last_key == b"b"
+
+
+class TestDecodeBlock:
+    def test_truncated_fails(self):
+        with pytest.raises(CorruptionError):
+            decode_block(b"\x01")
+
+    def test_trailing_garbage_fails(self):
+        builder = DataBlockBuilder(4096)
+        builder.add(put(b"a", 1))
+        payload = builder.finish() + b"junk"
+        with pytest.raises(CorruptionError):
+            decode_block(payload)
+
+    def test_empty_block(self):
+        builder = DataBlockBuilder(4096)
+        assert decode_block(builder.finish()) == []
+
+
+class TestSearchBlock:
+    def _records(self):
+        return [put(b"b", 9), put(b"b", 4), put(b"d", 2), put(b"f", 7)]
+
+    def test_finds_existing_key(self):
+        assert search_block(self._records(), b"d").seqno == 2
+
+    def test_returns_newest_version(self):
+        assert search_block(self._records(), b"b").seqno == 9
+
+    def test_absent_key_between(self):
+        assert search_block(self._records(), b"c") is None
+
+    def test_absent_key_before_and_after(self):
+        assert search_block(self._records(), b"a") is None
+        assert search_block(self._records(), b"z") is None
+
+    def test_empty_block_returns_none(self):
+        assert search_block([], b"a") is None

@@ -1,0 +1,98 @@
+"""Tests for the LRU block cache."""
+
+import pytest
+
+from repro.lsm.block_cache import BlockCache, BlockType
+
+
+def loader_for(data, latency=100.0, calls=None):
+    def loader():
+        if calls is not None:
+            calls.append(1)
+        return data, latency
+    return loader
+
+
+class TestBlockCache:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            BlockCache(-1)
+
+    def test_miss_then_hit(self):
+        cache = BlockCache(1024)
+        calls = []
+        data, miss_latency = cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"x" * 100, 100.0, calls))
+        assert data == b"x" * 100
+        assert miss_latency == 100.0
+        data, hit_latency = cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"ignored", 100.0, calls))
+        assert data == b"x" * 100
+        assert hit_latency < miss_latency  # DRAM speed
+        assert len(calls) == 1
+
+    def test_stats_by_type(self):
+        cache = BlockCache(1024)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"d"))
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"d"))
+        cache.get_or_load(1, 8, BlockType.FILTER, loader_for(b"f"))
+        assert cache.stats.hit_rate(BlockType.DATA) == pytest.approx(0.5)
+        assert cache.stats.hit_rate(BlockType.FILTER) == 0.0
+        assert cache.stats.hit_rate() == pytest.approx(1 / 3)
+
+    def test_lru_eviction(self):
+        cache = BlockCache(200)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"a" * 100))
+        cache.get_or_load(1, 100, BlockType.DATA, loader_for(b"b" * 100))
+        # Touch block (1,0) so (1,100) is the LRU victim.
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"a" * 100))
+        cache.get_or_load(1, 200, BlockType.DATA, loader_for(b"c" * 100))
+        calls = []
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"a" * 100, 100.0, calls))
+        assert calls == []  # still cached
+        cache.get_or_load(1, 100, BlockType.DATA, loader_for(b"b" * 100, 100.0, calls))
+        assert calls == [1]  # was evicted
+
+    def test_zero_capacity_disables_caching(self):
+        cache = BlockCache(0)
+        calls = []
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"x", 100.0, calls))
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"x", 100.0, calls))
+        assert len(calls) == 2
+        assert cache.used_bytes == 0
+
+    def test_oversized_block_not_cached(self):
+        cache = BlockCache(10)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"x" * 100))
+        assert len(cache) == 0
+
+    def test_used_bytes_tracks_contents(self):
+        cache = BlockCache(1000)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"x" * 300))
+        cache.get_or_load(2, 0, BlockType.DATA, loader_for(b"y" * 200))
+        assert cache.used_bytes == 500
+
+    def test_invalidate_file(self):
+        cache = BlockCache(1000)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"a" * 10))
+        cache.get_or_load(1, 10, BlockType.DATA, loader_for(b"b" * 10))
+        cache.get_or_load(2, 0, BlockType.DATA, loader_for(b"c" * 10))
+        removed = cache.invalidate_file(1)
+        assert removed == 2
+        assert len(cache) == 1
+        assert cache.used_bytes == 10
+
+    def test_invalidate_missing_file_is_noop(self):
+        cache = BlockCache(1000)
+        assert cache.invalidate_file(99) == 0
+
+    def test_clear(self):
+        cache = BlockCache(1000)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"a" * 10))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_eviction_counter(self):
+        cache = BlockCache(100)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"a" * 100))
+        cache.get_or_load(2, 0, BlockType.DATA, loader_for(b"b" * 100))
+        assert cache.stats.evictions == 1

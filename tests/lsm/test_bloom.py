@@ -1,0 +1,80 @@
+"""Tests for the bloom filter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 31)
+
+    def test_added_keys_are_found(self):
+        bloom = BloomFilter.for_capacity(100)
+        keys = [f"key{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter.for_capacity(100)
+        assert not bloom.may_contain(b"anything")
+
+    def test_false_positive_rate_is_low(self):
+        bloom = BloomFilter.for_capacity(1000, bits_per_key=10)
+        for i in range(1000):
+            bloom.add(f"present{i}".encode())
+        false_positives = sum(
+            bloom.may_contain(f"absent{i}".encode()) for i in range(10_000)
+        )
+        # 10 bits/key gives ~1% FP; allow generous slack.
+        assert false_positives < 400
+
+    def test_theoretical_fp_rate(self):
+        bloom = BloomFilter.for_capacity(1000, bits_per_key=10)
+        assert bloom.false_positive_rate(0) == 0.0
+        assert 0.001 < bloom.false_positive_rate(1000) < 0.03
+
+    def test_encode_decode_round_trip(self):
+        bloom = BloomFilter.for_capacity(50)
+        for i in range(50):
+            bloom.add(f"k{i}".encode())
+        restored = BloomFilter.decode(bloom.encode())
+        for i in range(50):
+            assert restored.may_contain(f"k{i}".encode())
+
+    def test_decode_truncated_fails(self):
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(b"\x01")
+
+    def test_decode_size_mismatch_fails(self):
+        encoded = BloomFilter.for_capacity(100).encode()
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(encoded[:-3])
+
+    def test_size_bytes_matches_encoding(self):
+        bloom = BloomFilter.for_capacity(100)
+        assert bloom.size_bytes == len(bloom.encode())
+
+    @given(st.sets(st.binary(min_size=1, max_size=32), min_size=1, max_size=200))
+    def test_no_false_negatives(self, keys):
+        bloom = BloomFilter.for_capacity(len(keys))
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    @given(st.sets(st.binary(min_size=1, max_size=32), min_size=1, max_size=100))
+    def test_no_false_negatives_after_round_trip(self, keys):
+        bloom = BloomFilter.for_capacity(len(keys))
+        for key in keys:
+            bloom.add(key)
+        restored = BloomFilter.decode(bloom.encode())
+        assert all(restored.may_contain(key) for key in keys)

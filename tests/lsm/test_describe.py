@@ -1,0 +1,50 @@
+"""Tests for the human-readable DB status report."""
+
+from repro.common import KIB
+from repro.lsm import DBOptions, LsmDB
+
+
+def make_db(**kwargs):
+    defaults = dict(
+        memtable_bytes=2 * KIB,
+        target_file_bytes=2 * KIB,
+        level1_target_bytes=4 * KIB,
+        level_size_multiplier=4,
+        block_bytes=512,
+        block_cache_bytes=8 * KIB,
+    )
+    defaults.update(kwargs)
+    return LsmDB.create("NNNTQ", DBOptions(**defaults))
+
+
+class TestDescribe:
+    def test_mentions_layout_and_levels(self):
+        db = make_db()
+        text = db.describe()
+        assert "NNNTQ" in text
+        for level in range(5):
+            assert f"L{level}:" in text
+
+    def test_reflects_activity(self):
+        db = make_db()
+        for i in range(500):
+            db.put(f"key{i:04d}".encode(), b"v" * 30)
+        db.flush()
+        db.get(b"key0001")
+        text = db.describe()
+        assert "500 writes" in text
+        assert "1 reads" in text
+        assert "compactions:" in text
+        assert "wear" in text
+
+    def test_row_cache_line_only_when_enabled(self):
+        without = make_db().describe()
+        assert "row cache" not in without
+        with_cache = make_db(row_cache_bytes=4 * KIB).describe()
+        assert "row cache" in with_cache
+
+    def test_tier_lines_present(self):
+        text = make_db().describe()
+        assert "nvm-L0-L2" in text
+        assert "tlc-L3" in text
+        assert "qlc-L4" in text

@@ -1,0 +1,166 @@
+"""Failure injection: corruption, capacity exhaustion, and lock stalls.
+
+These tests flip bits in on-"disk" structures and drive the engine into
+resource-exhaustion corners, asserting that failures surface as typed
+errors instead of silent wrong answers.
+"""
+
+import pytest
+
+from repro.common import KIB, MIB, SimClock
+from repro.errors import CapacityError, CorruptionError
+from repro.lsm.block import decode_block
+from repro.lsm.block_cache import BlockCache
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.record import Record, ValueKind
+from repro.lsm.sstable import SSTable, SSTableBuilder, decode_index
+from repro.storage import NVM_SPEC, StorageBackend, StorageTier
+
+
+def build_table(n=50):
+    clock = SimClock()
+    backend = StorageBackend(clock)
+    tier = StorageTier("nvm", NVM_SPEC, 64 * MIB, clock)
+    builder = SSTableBuilder(backend, tier, block_bytes=512, target_file_bytes=1 << 30)
+    for i in range(n):
+        builder.add(Record(f"key{i:04d}".encode(), i + 1, ValueKind.PUT, b"v" * 30))
+    table, _ = builder.finish()
+    return backend, table
+
+
+def corrupt(data: bytes, offset: int, new_byte: int) -> bytes:
+    mutated = bytearray(data)
+    mutated[offset] = new_byte
+    return bytes(mutated)
+
+
+class TestSSTableCorruption:
+    def test_bad_footer_magic_detected_on_open(self):
+        backend, table = build_table()
+        file = table.file
+        file.data = corrupt(file.data, len(file.data) - 1, 0x00)
+        with pytest.raises(CorruptionError):
+            SSTable.open(backend, file)
+
+    def test_truncated_file_detected_on_open(self):
+        backend, table = build_table()
+        file = table.file
+        file.data = file.data[:4]
+        with pytest.raises(CorruptionError):
+            SSTable.open(backend, file)
+
+    def test_footer_claiming_impossible_sizes_detected(self):
+        backend, table = build_table()
+        file = table.file
+        # Inflate the smallest-key length in the footer tail beyond the file.
+        tail_offset = len(file.data) - 8  # smallest_len field of the tail
+        file.data = corrupt(file.data, tail_offset, 0xFF)
+        file.data = corrupt(file.data, tail_offset + 1, 0xFF)
+        with pytest.raises(CorruptionError):
+            SSTable.open(backend, file)
+
+    def test_corrupt_data_block_detected_on_decode(self):
+        backend, table = build_table()
+        # Destroy the record count of the first block.
+        payload = bytearray(table.file.data)
+        payload[0] = 0xFF
+        payload[1] = 0xFF
+        table.file.data = bytes(payload)
+        table._decoded_blocks.clear()
+        cache = BlockCache(64 * KIB)
+        with pytest.raises(CorruptionError):
+            table.get(b"key0000", cache)
+
+    def test_reopened_table_reads_clean_data(self):
+        backend, table = build_table()
+        reopened = SSTable.open(backend, table.file)
+        cache = BlockCache(64 * KIB)
+        hit, _, _ = reopened.get(b"key0007", cache)
+        assert hit is not None
+        assert hit.value == b"v" * 30
+
+
+class TestCodecCorruption:
+    def test_bloom_truncation(self):
+        bloom = BloomFilter.for_capacity(10)
+        bloom.add(b"x")
+        with pytest.raises(CorruptionError):
+            BloomFilter.decode(bloom.encode()[:2])
+
+    def test_index_truncation(self):
+        from repro.lsm.sstable import IndexEntry, encode_index
+
+        payload = encode_index([IndexEntry(b"abc", 0, 10)])
+        with pytest.raises(CorruptionError):
+            decode_index(payload[:-2])
+
+    def test_block_record_kind_corruption(self):
+        from repro.lsm.block import DataBlockBuilder
+
+        builder = DataBlockBuilder(4096)
+        builder.add(Record(b"k", 1, ValueKind.PUT, b"v"))
+        payload = bytearray(builder.finish())
+        payload[2 + 6] = 0x7F  # the kind byte of the first record
+        with pytest.raises(CorruptionError):
+            decode_block(bytes(payload))
+
+
+class TestResourceExhaustion:
+    def test_tier_capacity_error_is_typed(self):
+        clock = SimClock()
+        backend = StorageBackend(clock)
+        tiny = StorageTier("tiny", NVM_SPEC, 1024, clock, slack_factor=1.0)
+        with pytest.raises(CapacityError):
+            backend.create_file(tiny, b"x" * 4096)
+
+    def test_db_survives_value_larger_than_block(self):
+        from repro.lsm import DBOptions, LsmDB
+
+        options = DBOptions(
+            memtable_bytes=8 * KIB,
+            target_file_bytes=8 * KIB,
+            level1_target_bytes=16 * KIB,
+            level_size_multiplier=4,
+            block_bytes=512,
+        )
+        db = LsmDB.create("NNNTQ", options)
+        big_value = b"x" * 2048  # 4x the block size
+        db.put(b"big", big_value)
+        db.flush()
+        assert db.get(b"big").value == big_value
+
+    def test_many_tiny_keys_roll_files_correctly(self):
+        from repro.lsm import DBOptions, LsmDB
+
+        options = DBOptions(
+            memtable_bytes=1 * KIB,
+            target_file_bytes=1 * KIB,
+            level1_target_bytes=2 * KIB,
+            level_size_multiplier=4,
+            block_bytes=256,
+        )
+        db = LsmDB.create("NNNTQ", options)
+        for i in range(2000):
+            db.put(f"{i:06d}".encode(), b"x")
+        db.flush()
+        db.check_invariants()
+        for i in range(0, 2000, 173):
+            assert db.get(f"{i:06d}".encode()).found
+
+
+class TestMigrationLockStalls:
+    def test_reads_stall_during_migration_and_recover_after(self):
+        clock = SimClock()
+        backend = StorageBackend(clock)
+        nvm = StorageTier("nvm", NVM_SPEC, 64 * MIB, clock)
+        from repro.storage import QLC_SPEC
+
+        qlc = StorageTier("qlc", QLC_SPEC, 64 * MIB, clock)
+        file, _ = backend.create_file(nvm, b"z" * MIB)
+        lock = backend.migrate_file(file, qlc)
+        _, stalled = backend.read(file, 0, 4096)
+        assert stalled > lock  # waits out the lock
+        assert backend.stats.lock_stalls == 1
+        clock.advance(lock * 10)
+        _, later = backend.read(file, 0, 4096)
+        assert later < stalled

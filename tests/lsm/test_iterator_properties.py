@@ -1,0 +1,68 @@
+"""Property tests for the merging iterators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.iterators import merge_records, newest_versions, visible_records
+from repro.lsm.record import Record, ValueKind
+
+
+@st.composite
+def sorted_sources(draw):
+    """A handful of sources, each in internal-key order, unique seqnos."""
+    n_records = draw(st.integers(min_value=0, max_value=60))
+    keys = draw(
+        st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=12)
+    )
+    records = []
+    for seqno in range(1, n_records + 1):
+        key = draw(st.sampled_from(keys))
+        kind = draw(st.sampled_from([ValueKind.PUT, ValueKind.PUT, ValueKind.DELETE]))
+        records.append(Record(key, seqno, kind, bytes([seqno % 256])))
+    n_sources = draw(st.integers(min_value=1, max_value=5))
+    sources = [[] for _ in range(n_sources)]
+    for record in records:
+        sources[draw(st.integers(0, n_sources - 1))].append(record)
+    return [sorted(source, key=lambda r: r.internal_sort_key()) for source in sources]
+
+
+class TestMergeProperties:
+    @given(sorted_sources())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_sorted_and_lossless(self, sources):
+        merged = list(merge_records(sources))
+        assert len(merged) == sum(len(s) for s in sources)
+        keys = [r.internal_sort_key() for r in merged]
+        assert keys == sorted(keys)
+
+    @given(sorted_sources())
+    @settings(max_examples=60, deadline=None)
+    def test_newest_versions_picks_global_max_seqno(self, sources):
+        deduped = list(newest_versions(merge_records(sources)))
+        expected = {}
+        for source in sources:
+            for record in source:
+                prev = expected.get(record.user_key)
+                if prev is None or record.seqno > prev.seqno:
+                    expected[record.user_key] = record
+        assert {r.user_key: r for r in deduped} == expected
+        # One record per key, in key order.
+        keys = [r.user_key for r in deduped]
+        assert keys == sorted(set(keys))
+
+    @given(sorted_sources())
+    @settings(max_examples=60, deadline=None)
+    def test_visible_records_equal_model_dict(self, sources):
+        visible = {r.user_key: r.value for r in visible_records(merge_records(sources))}
+        model = {}
+        all_records = sorted(
+            (r for source in sources for r in source), key=lambda r: r.seqno
+        )
+        for record in all_records:  # apply in commit order
+            if record.is_tombstone:
+                model.pop(record.user_key, None)
+            else:
+                model[record.user_key] = record.value
+        # visible_records shows the newest PUT unless shadowed by a newer
+        # DELETE — i.e., exactly the committed state.
+        assert visible == model

@@ -1,0 +1,102 @@
+"""Tests for merging iterators and the WAL."""
+
+import pytest
+
+from repro.common import MIB, SimClock
+from repro.lsm.iterators import merge_records, newest_versions, visible_records
+from repro.lsm.record import Record, ValueKind
+from repro.lsm.wal import WriteAheadLog
+from repro.storage import NVM_SPEC, StorageTier
+
+
+def put(key, seqno, value=b"v"):
+    return Record(key, seqno, ValueKind.PUT, value)
+
+
+def tombstone(key, seqno):
+    return Record(key, seqno, ValueKind.DELETE)
+
+
+class TestMergeRecords:
+    def test_merges_sorted_sources(self):
+        a = [put(b"a", 1), put(b"c", 2)]
+        b = [put(b"b", 3), put(b"d", 4)]
+        merged = list(merge_records([a, b]))
+        assert [r.user_key for r in merged] == [b"a", b"b", b"c", b"d"]
+
+    def test_same_key_newest_first(self):
+        older = [put(b"k", 1, b"old")]
+        newer = [put(b"k", 9, b"new")]
+        merged = list(merge_records([older, newer]))
+        assert [r.seqno for r in merged] == [9, 1]
+
+    def test_empty_sources(self):
+        assert list(merge_records([[], []])) == []
+
+
+class TestNewestVersions:
+    def test_keeps_first_per_key(self):
+        stream = [put(b"k", 9, b"new"), put(b"k", 1, b"old"), put(b"z", 5)]
+        result = list(newest_versions(stream))
+        assert [(r.user_key, r.seqno) for r in result] == [(b"k", 9), (b"z", 5)]
+
+    def test_keeps_tombstones(self):
+        stream = [tombstone(b"k", 9), put(b"k", 1)]
+        result = list(newest_versions(stream))
+        assert len(result) == 1
+        assert result[0].is_tombstone
+
+
+class TestVisibleRecords:
+    def test_drops_tombstoned_keys(self):
+        stream = [tombstone(b"a", 9), put(b"a", 1), put(b"b", 5)]
+        result = list(visible_records(stream))
+        assert [r.user_key for r in result] == [b"b"]
+
+    def test_old_version_under_tombstone_not_resurrected(self):
+        stream = [put(b"a", 10, b"latest"), tombstone(b"a", 5), put(b"a", 1, b"oldest")]
+        # Newest is a PUT; tombstone below shadows nothing visible.
+        result = list(visible_records(stream))
+        assert len(result) == 1
+        assert result[0].value == b"latest"
+
+
+class TestWriteAheadLog:
+    def _tier(self):
+        clock = SimClock()
+        return StorageTier("nvm", NVM_SPEC, 16 * MIB, clock)
+
+    def test_append_charges_latency(self):
+        wal = WriteAheadLog(self._tier())
+        latency = wal.append(put(b"key", 1, b"value"))
+        assert latency > 0
+        assert wal.total_appends == 1
+        assert wal.segment_bytes > 0
+
+    def test_rejects_bad_sync_every(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(self._tier(), sync_every=0)
+
+    def test_group_commit_is_cheaper(self):
+        tier = self._tier()
+        wal_sync = WriteAheadLog(self._tier(), sync_every=1)
+        wal_group = WriteAheadLog(tier, sync_every=8)
+        record = put(b"key", 1, b"value" * 10)
+        sync_cost = sum(wal_sync.append(record) for _ in range(8))
+        group_cost = sum(wal_group.append(record) for _ in range(8))
+        assert group_cost < sync_cost
+
+    def test_truncate_resets_segment(self):
+        wal = WriteAheadLog(self._tier())
+        wal.append(put(b"key", 1))
+        wal.truncate()
+        assert wal.segment_bytes == 0
+        assert wal.total_bytes > 0
+        assert wal.truncations == 1
+
+    def test_bytes_accumulate(self):
+        wal = WriteAheadLog(self._tier())
+        record = put(b"key", 1, b"v" * 100)
+        wal.append(record)
+        wal.append(put(b"key", 2, b"v" * 100))
+        assert wal.total_bytes == 2 * record.encoded_size()

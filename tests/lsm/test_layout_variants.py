@@ -1,0 +1,128 @@
+"""Cross-layout tests: trees with different depths and tier mixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import KIB, SimClock
+from repro.lsm import DBOptions, LsmDB, build_layout
+from repro.core import PrismDB, PrismOptions
+
+
+def options_for_levels(num_levels, **kwargs):
+    # Size L1 so the bottom level's target comfortably holds the test
+    # data set regardless of tree depth.
+    multiplier = kwargs.get("level_size_multiplier", 4)
+    bottom_target = 96 * KIB
+    level1 = max(2 * KIB, bottom_target // multiplier ** (num_levels - 2))
+    defaults = dict(
+        num_levels=num_levels,
+        memtable_bytes=2 * KIB,
+        target_file_bytes=2 * KIB,
+        level1_target_bytes=level1,
+        level_size_multiplier=multiplier,
+        block_bytes=512,
+        block_cache_bytes=8 * KIB,
+    )
+    defaults.update(kwargs)
+    return DBOptions(**defaults)
+
+
+def populate_and_verify(db, n=1200):
+    for i in range(n):
+        db.put(f"key{i:05d}".encode(), b"v" * 30)
+    db.flush()
+    db.check_invariants()
+    for i in range(0, n, 97):
+        assert db.get(f"key{i:05d}".encode()).found
+    return db
+
+
+class TestTreeDepths:
+    @pytest.mark.parametrize("num_levels,code", [(2, "NQ"), (3, "NTQ"), (4, "NNTQ"), (7, "NNNTTQQ")])
+    def test_lsm_works_at_any_depth(self, num_levels, code):
+        options = options_for_levels(num_levels)
+        clock = SimClock()
+        layout = build_layout(code, options, clock)
+        db = LsmDB(layout, options, clock=clock)
+        populate_and_verify(db)
+
+    def test_two_level_tree_compacts_to_bottom(self):
+        options = options_for_levels(2)
+        clock = SimClock()
+        db = LsmDB(build_layout("NQ", options, clock), options, clock=clock)
+        populate_and_verify(db)
+        assert db.manifest.level_bytes(1) > 0
+
+    def test_prismdb_on_three_level_tree(self):
+        options = options_for_levels(3)
+        clock = SimClock()
+        layout = build_layout("NTQ", options, clock)
+        db = PrismDB(
+            layout,
+            options,
+            PrismOptions(tracker_capacity=32, require_full_tracker=False, pinning_threshold=0.5),
+            clock=clock,
+        )
+        populate_and_verify(db)
+        # Read some keys hot, then churn to trigger pinned compactions.
+        import random
+
+        rng = random.Random(4)
+        for _ in range(2500):
+            if rng.random() < 0.3:
+                db.put(f"key{rng.randrange(1200):05d}".encode(), b"w" * 30)
+            else:
+                db.get(f"key{rng.randrange(40):05d}".encode())
+        db.check_invariants()
+
+
+class TestTierMixes:
+    @pytest.mark.parametrize("code", ["QQQQQ", "TTTTT", "NNNNN", "NTTQQ", "NNTTQ", "NQQQQ"])
+    def test_any_tier_assignment_works(self, code):
+        options = options_for_levels(5)
+        clock = SimClock()
+        db = LsmDB(build_layout(code, options, clock), options, clock=clock)
+        populate_and_verify(db, 800)
+
+    def test_inverted_layout_is_allowed_but_slow(self):
+        # QNNNN puts the slowest device on top: legal (Fig. 4 enumerates
+        # it), just off the Pareto frontier.
+        options = options_for_levels(5)
+        clock = SimClock()
+        slow_top = LsmDB(build_layout("QNNNN", options, clock), options, clock=clock)
+        populate_and_verify(slow_top, 800)
+
+    def test_faster_bottom_reads_faster(self):
+        options = options_for_levels(3)
+
+        def avg_read(code):
+            clock = SimClock()
+            db = LsmDB(build_layout(code, options, clock), options, clock=clock)
+            for i in range(800):
+                db.put(f"key{i:05d}".encode(), b"v" * 30)
+            db.flush()
+            total = 0.0
+            for i in range(0, 800, 7):
+                total += db.get(f"key{i:05d}".encode()).latency_usec
+            return total
+
+        assert avg_read("NNN") < avg_read("QQQ")
+
+
+class TestOptionsProperties:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_level_targets_monotone(self, num_levels, multiplier):
+        options = DBOptions(
+            num_levels=num_levels,
+            level_size_multiplier=multiplier,
+            level1_target_bytes=64 * KIB,
+        )
+        targets = [options.level_target_bytes(level) for level in range(1, num_levels)]
+        assert targets == sorted(targets)
+        for a, b in zip(targets, targets[1:]):
+            assert b == a * multiplier

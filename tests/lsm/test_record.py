@@ -1,0 +1,88 @@
+"""Tests for record encoding and internal-key ordering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.record import MAX_SEQNO, Record, ValueKind
+
+keys = st.binary(min_size=1, max_size=64)
+values = st.binary(max_size=256)
+seqnos = st.integers(min_value=0, max_value=MAX_SEQNO)
+
+
+class TestRecord:
+    def test_round_trip(self):
+        record = Record(b"key", 7, ValueKind.PUT, b"value")
+        decoded, end = Record.decode_from(record.encode(), 0)
+        assert decoded == record
+        assert end == record.encoded_size()
+
+    def test_tombstone_flag(self):
+        assert Record(b"k", 1, ValueKind.DELETE).is_tombstone
+        assert not Record(b"k", 1, ValueKind.PUT, b"v").is_tombstone
+
+    def test_rejects_bad_seqno(self):
+        with pytest.raises(ValueError):
+            Record(b"k", -1, ValueKind.PUT)
+        with pytest.raises(ValueError):
+            Record(b"k", MAX_SEQNO + 1, ValueKind.PUT)
+
+    def test_rejects_oversized_key(self):
+        with pytest.raises(ValueError):
+            Record(b"k" * 70_000, 1, ValueKind.PUT)
+
+    def test_decode_truncated_header_fails(self):
+        with pytest.raises(CorruptionError):
+            Record.decode_from(b"\x01\x02", 0)
+
+    def test_decode_truncated_body_fails(self):
+        encoded = Record(b"key", 1, ValueKind.PUT, b"value").encode()
+        with pytest.raises(CorruptionError):
+            Record.decode_from(encoded[:-2], 0)
+
+    def test_decode_bad_kind_fails(self):
+        encoded = bytearray(Record(b"key", 1, ValueKind.PUT, b"v").encode())
+        encoded[6] = 99  # the kind byte in the header
+        with pytest.raises(CorruptionError):
+            Record.decode_from(bytes(encoded), 0)
+
+    def test_multiple_records_decode_sequentially(self):
+        a = Record(b"a", 1, ValueKind.PUT, b"1")
+        b = Record(b"b", 2, ValueKind.DELETE)
+        buf = a.encode() + b.encode()
+        first, offset = Record.decode_from(buf, 0)
+        second, end = Record.decode_from(buf, offset)
+        assert first == a
+        assert second == b
+        assert end == len(buf)
+
+    @given(keys, seqnos, values)
+    def test_round_trip_property(self, key, seqno, value):
+        record = Record(key, seqno, ValueKind.PUT, value)
+        decoded, _ = Record.decode_from(record.encode(), 0)
+        assert decoded == record
+
+
+class TestInternalOrdering:
+    def test_keys_sort_ascending(self):
+        a = Record(b"a", 1, ValueKind.PUT)
+        b = Record(b"b", 1, ValueKind.PUT)
+        assert a.internal_sort_key() < b.internal_sort_key()
+
+    def test_same_key_newer_seqno_sorts_first(self):
+        older = Record(b"k", 5, ValueKind.PUT)
+        newer = Record(b"k", 9, ValueKind.PUT)
+        assert newer.internal_sort_key() < older.internal_sort_key()
+
+    @given(keys, seqnos, seqnos)
+    def test_newest_first_property(self, key, s1, s2):
+        r1 = Record(key, s1, ValueKind.PUT)
+        r2 = Record(key, s2, ValueKind.PUT)
+        if s1 > s2:
+            assert r1.internal_sort_key() < r2.internal_sort_key()
+        elif s1 < s2:
+            assert r2.internal_sort_key() < r1.internal_sort_key()
+        else:
+            assert r1.internal_sort_key() == r2.internal_sort_key()

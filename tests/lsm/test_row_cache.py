@@ -1,0 +1,165 @@
+"""Tests for the object-granularity row cache and its DB integration."""
+
+import pytest
+
+from repro.common import KIB
+from repro.lsm import DBOptions, LsmDB
+from repro.lsm.row_cache import ENTRY_OVERHEAD_BYTES, RowCache
+
+
+class TestRowCacheUnit:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            RowCache(-1)
+
+    def test_miss_then_hit(self):
+        cache = RowCache(1024)
+        hit, value, seqno, latency = cache.lookup(b"k")
+        assert not hit
+        cache.insert(b"k", b"v", 7)
+        hit, value, seqno, latency = cache.lookup(b"k")
+        assert hit
+        assert value == b"v"
+        assert seqno == 7
+        assert latency > 0
+
+    def test_caches_confirmed_absence(self):
+        cache = RowCache(1024)
+        cache.insert(b"ghost", None, 0)
+        hit, value, _, _ = cache.lookup(b"ghost")
+        assert hit
+        assert value is None
+
+    def test_lru_eviction(self):
+        entry = ENTRY_OVERHEAD_BYTES + 1 + 1  # 1-byte key, 1-byte value
+        cache = RowCache(2 * entry)
+        cache.insert(b"a", b"1", 1)
+        cache.insert(b"b", b"2", 2)
+        cache.lookup(b"a")  # a is now MRU
+        cache.insert(b"c", b"3", 3)
+        assert cache.lookup(b"a")[0]
+        assert not cache.lookup(b"b")[0]  # evicted
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = RowCache(1024)
+        cache.insert(b"k", b"v", 1)
+        cache.invalidate(b"k")
+        assert not cache.lookup(b"k")[0]
+        assert cache.stats.invalidations == 1
+        cache.invalidate(b"never")  # no-op
+        assert cache.stats.invalidations == 1
+
+    def test_zero_capacity_disabled(self):
+        cache = RowCache(0)
+        cache.insert(b"k", b"v", 1)
+        assert len(cache) == 0
+
+    def test_used_bytes_accounting(self):
+        cache = RowCache(10_000)
+        cache.insert(b"key", b"value", 1)
+        assert cache.used_bytes == 3 + 5 + ENTRY_OVERHEAD_BYTES
+        cache.invalidate(b"key")
+        assert cache.used_bytes == 0
+
+    def test_reinsert_replaces(self):
+        cache = RowCache(10_000)
+        cache.insert(b"k", b"long-value", 1)
+        cache.insert(b"k", b"v", 2)
+        assert len(cache) == 1
+        assert cache.lookup(b"k")[1] == b"v"
+
+    def test_hit_rate(self):
+        cache = RowCache(1024)
+        cache.lookup(b"a")
+        cache.insert(b"a", b"1", 1)
+        cache.lookup(b"a")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def db_with_row_cache(row_cache_bytes=16 * KIB):
+    options = DBOptions(
+        memtable_bytes=2 * KIB,
+        target_file_bytes=2 * KIB,
+        level1_target_bytes=4 * KIB,
+        level_size_multiplier=4,
+        block_bytes=512,
+        block_cache_bytes=0,  # isolate the row cache
+        row_cache_bytes=row_cache_bytes,
+    )
+    return LsmDB.create("NNNTQ", options)
+
+
+class TestRowCacheInDB:
+    def test_second_read_served_from_row_cache(self):
+        db = db_with_row_cache()
+        db.put(b"k", b"v")
+        db.flush()
+        first = db.get(b"k")
+        second = db.get(b"k")
+        assert first.served_by.startswith("L")
+        assert second.served_by == "rowcache"
+        assert second.value == b"v"
+        assert second.latency_usec < first.latency_usec
+
+    def test_write_invalidates_row_cache(self):
+        db = db_with_row_cache()
+        db.put(b"k", b"old")
+        db.flush()
+        db.get(b"k")
+        db.put(b"k", b"new")
+        db.flush()
+        result = db.get(b"k")
+        assert result.value == b"new"
+
+    def test_delete_invalidates_row_cache(self):
+        db = db_with_row_cache()
+        db.put(b"k", b"v")
+        db.flush()
+        db.get(b"k")
+        db.delete(b"k")
+        assert not db.get(b"k").found
+
+    def test_negative_lookups_cached(self):
+        db = db_with_row_cache()
+        db.put(b"other", b"v")
+        db.flush()
+        db.get(b"absent")
+        result = db.get(b"absent")
+        assert result.served_by == "rowcache"
+        assert not result.found
+
+    def test_disabled_by_default(self):
+        options = DBOptions(
+            memtable_bytes=2 * KIB,
+            target_file_bytes=2 * KIB,
+            level1_target_bytes=4 * KIB,
+            level_size_multiplier=4,
+            block_bytes=512,
+        )
+        db = LsmDB.create("NNNTQ", options)
+        db.put(b"k", b"v")
+        db.flush()
+        db.get(b"k")
+        assert db.get(b"k").served_by != "rowcache"
+
+    def test_correctness_under_churn(self):
+        import random
+
+        db = db_with_row_cache()
+        rng = random.Random(9)
+        model = {}
+        keys = [f"key{i:03d}".encode() for i in range(80)]
+        for _ in range(4000):
+            key = rng.choice(keys)
+            roll = rng.random()
+            if roll < 0.3:
+                value = rng.randbytes(20)
+                db.put(key, value)
+                model[key] = value
+            elif roll < 0.35:
+                db.delete(key)
+                model.pop(key, None)
+            else:
+                assert db.get(key).value == model.get(key)
+        db.check_invariants()

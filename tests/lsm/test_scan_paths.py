@@ -1,0 +1,101 @@
+"""Scan-path tests: lazy per-level chaining and cross-boundary scans."""
+
+import random
+
+import pytest
+
+from repro.common import KIB
+from repro.lsm import DBOptions, LsmDB
+
+
+def make_db(**kwargs):
+    defaults = dict(
+        memtable_bytes=1 * KIB,
+        target_file_bytes=1 * KIB,
+        level1_target_bytes=2 * KIB,
+        level_size_multiplier=4,
+        block_bytes=256,
+        block_cache_bytes=8 * KIB,
+    )
+    defaults.update(kwargs)
+    return LsmDB.create("NNNTQ", DBOptions(**defaults))
+
+
+class TestScanBoundaries:
+    def _loaded_db(self, n=600):
+        db = make_db()
+        for i in range(n):
+            db.put(f"key{i:05d}".encode(), f"value{i}".encode())
+        db.flush()
+        assert db.manifest.file_count() > 5  # spans many files
+        return db
+
+    def test_scan_crosses_file_boundaries(self):
+        db = self._loaded_db()
+        result = db.scan(b"key00050", 100)
+        keys = [k for k, _ in result.items]
+        assert keys == [f"key{i:05d}".encode() for i in range(50, 150)]
+
+    def test_scan_whole_keyspace(self):
+        db = self._loaded_db(300)
+        result = db.scan(b"", 1000)
+        assert len(result.items) == 300
+        keys = [k for k, _ in result.items]
+        assert keys == sorted(keys)
+
+    def test_scan_from_middle_of_file(self):
+        db = self._loaded_db()
+        result = db.scan(b"key00123", 5)
+        assert [k for k, _ in result.items] == [
+            f"key{i:05d}".encode() for i in range(123, 128)
+        ]
+
+    def test_scan_past_end_is_empty(self):
+        db = self._loaded_db(300)
+        assert db.scan(b"zzz", 10).items == []
+
+    def test_scan_latency_independent_of_distant_files(self):
+        # A short scan near the end of the keyspace must not pay for
+        # reading blocks of every preceding file (lazy chaining).
+        db = self._loaded_db(1200)
+        short = db.scan(b"key01190", 5)
+        assert len(short.items) == 5
+        # Cost bounded by a handful of block reads per level, not
+        # hundreds across the whole tree.
+        assert short.latency_usec < 20_000
+
+    def test_scan_merges_updates_across_levels(self):
+        db = self._loaded_db(200)
+        # Overwrite a band of keys; new versions start in the memtable.
+        for i in range(90, 110):
+            db.put(f"key{i:05d}".encode(), b"NEW")
+        result = db.scan(b"key00085", 30)
+        values = dict(result.items)
+        assert values[b"key00095"] == b"NEW"
+        assert values[b"key00085"] == b"value85"
+
+    def test_scan_excludes_deleted_band(self):
+        db = self._loaded_db(200)
+        for i in range(100, 120):
+            db.delete(f"key{i:05d}".encode())
+        db.flush()
+        result = db.scan(b"key00095", 10)
+        keys = [k for k, _ in result.items]
+        assert f"key{100:05d}".encode() not in keys
+        assert keys[0] == b"key00095"
+
+    def test_random_scans_match_model(self):
+        db = make_db()
+        rng = random.Random(31)
+        model = {}
+        for _ in range(2500):
+            key = f"key{rng.randrange(400):05d}".encode()
+            value = rng.randbytes(15)
+            db.put(key, value)
+            model[key] = value
+        for _ in range(60):
+            start = f"key{rng.randrange(400):05d}".encode()
+            count = rng.randrange(1, 30)
+            got = db.scan(start, count).items
+            expected = sorted((k, v) for k, v in model.items() if k >= start)[:count]
+            assert got == expected

@@ -1,0 +1,89 @@
+"""Tests for the skiplist."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lsm.skiplist import SkipList
+
+
+class TestSkipList:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert sl.get(b"x") is None
+        assert sl.first_key() is None
+        assert sl.last_key() is None
+        assert list(sl.items()) == []
+
+    def test_insert_and_get(self):
+        sl = SkipList()
+        sl.insert(b"b", 2)
+        sl.insert(b"a", 1)
+        sl.insert(b"c", 3)
+        assert sl.get(b"a") == 1
+        assert sl.get(b"b") == 2
+        assert sl.get(b"c") == 3
+        assert len(sl) == 3
+
+    def test_overwrite_does_not_grow(self):
+        sl = SkipList()
+        sl.insert(b"k", 1)
+        sl.insert(b"k", 2)
+        assert len(sl) == 1
+        assert sl.get(b"k") == 2
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert(b"k", None)  # value None is still present
+        assert b"k" in sl
+        assert b"other" not in sl
+
+    def test_items_sorted(self):
+        sl = SkipList()
+        for key in [b"d", b"a", b"c", b"b"]:
+            sl.insert(key, key)
+        assert [k for k, _ in sl.items()] == [b"a", b"b", b"c", b"d"]
+
+    def test_first_and_last(self):
+        sl = SkipList()
+        for key in [b"m", b"a", b"z"]:
+            sl.insert(key, 0)
+        assert sl.first_key() == b"a"
+        assert sl.last_key() == b"z"
+
+    def test_seek_ceiling_exact(self):
+        sl = SkipList()
+        for key in [b"a", b"c", b"e"]:
+            sl.insert(key, 0)
+        assert [k for k, _ in sl.seek_ceiling(b"c")] == [b"c", b"e"]
+
+    def test_seek_ceiling_between_keys(self):
+        sl = SkipList()
+        for key in [b"a", b"c", b"e"]:
+            sl.insert(key, 0)
+        assert [k for k, _ in sl.seek_ceiling(b"b")] == [b"c", b"e"]
+
+    def test_seek_ceiling_past_end(self):
+        sl = SkipList()
+        sl.insert(b"a", 0)
+        assert list(sl.seek_ceiling(b"z")) == []
+
+    @given(st.lists(st.tuples(st.binary(min_size=1, max_size=8), st.integers()), max_size=200))
+    def test_behaves_like_sorted_dict(self, pairs):
+        sl = SkipList(seed=1)
+        model: dict[bytes, int] = {}
+        for key, value in pairs:
+            sl.insert(key, value)
+            model[key] = value
+        assert len(sl) == len(model)
+        assert [k for k, _ in sl.items()] == sorted(model)
+        for key, value in model.items():
+            assert sl.get(key) == value
+
+    @given(st.lists(st.binary(min_size=1, max_size=6), min_size=1, max_size=100), st.binary(min_size=1, max_size=6))
+    def test_seek_ceiling_matches_model(self, inserted, probe):
+        sl = SkipList(seed=2)
+        for key in inserted:
+            sl.insert(key, key)
+        expected = sorted(k for k in set(inserted) if k >= probe)
+        assert [k for k, _ in sl.seek_ceiling(probe)] == expected

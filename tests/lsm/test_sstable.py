@@ -1,0 +1,175 @@
+"""Tests for SSTable build and read paths."""
+
+import pytest
+
+from repro.common import KIB, MIB, SimClock
+from repro.lsm.block_cache import BlockCache, BlockType
+from repro.lsm.record import Record, ValueKind
+from repro.lsm.sstable import (
+    UNTRACKED_CLOCK_VALUE,
+    IndexEntry,
+    SSTableBuilder,
+    decode_index,
+    encode_index,
+)
+from repro.storage import NVM_SPEC, StorageBackend, StorageTier
+
+
+def put(key, seqno, value=b"v" * 50):
+    return Record(key, seqno, ValueKind.PUT, value)
+
+
+def make_env():
+    clock = SimClock()
+    backend = StorageBackend(clock)
+    tier = StorageTier("nvm", NVM_SPEC, 64 * MIB, clock)
+    cache = BlockCache(256 * KIB)
+    return backend, tier, cache
+
+
+def build_table(backend, tier, records, **kwargs):
+    defaults = dict(block_bytes=512, target_file_bytes=16 * KIB)
+    defaults.update(kwargs)
+    builder = SSTableBuilder(backend, tier, **defaults)
+    for record in records:
+        builder.add(record)
+    table, _ = builder.finish()
+    return table
+
+
+class TestIndexCodec:
+    def test_round_trip(self):
+        entries = [IndexEntry(b"abc", 0, 100), IndexEntry(b"xyz", 100, 250)]
+        assert decode_index(encode_index(entries)) == entries
+
+    def test_empty_index(self):
+        assert decode_index(encode_index([])) == []
+
+
+class TestSSTableBuild:
+    def test_metadata(self):
+        backend, tier, _ = make_env()
+        records = [put(f"k{i:04d}".encode(), i + 1) for i in range(100)]
+        table = build_table(backend, tier, records)
+        assert table.smallest_key == b"k0000"
+        assert table.largest_key == b"k0099"
+        assert table.entry_count == 100
+        assert table.tombstone_count == 0
+        assert table.size_bytes == table.file.size
+
+    def test_empty_finish_rejected(self):
+        backend, tier, _ = make_env()
+        builder = SSTableBuilder(backend, tier, block_bytes=512, target_file_bytes=4096)
+        with pytest.raises(ValueError):
+            builder.finish()
+
+    def test_tombstones_counted(self):
+        backend, tier, _ = make_env()
+        records = [put(b"a", 2), Record(b"b", 1, ValueKind.DELETE)]
+        table = build_table(backend, tier, records)
+        assert table.tombstone_count == 1
+
+    def test_should_finish_at_target(self):
+        backend, tier, _ = make_env()
+        builder = SSTableBuilder(backend, tier, block_bytes=512, target_file_bytes=1024)
+        i = 0
+        while not builder.should_finish():
+            builder.add(put(f"k{i:06d}".encode(), i + 1))
+            i += 1
+        assert builder.estimated_bytes >= 1024
+
+    def test_popularity_score_from_clock_values(self):
+        backend, tier, _ = make_env()
+        clock_values = {b"hot": 3, b"warm": 2}
+
+        def clock_fn(key):
+            return clock_values.get(key, UNTRACKED_CLOCK_VALUE)
+
+        records = [put(b"cold", 1), put(b"hot", 2), put(b"warm", 3)]
+        table = build_table(backend, tier, records, clock_value_fn=clock_fn, score_exponent=3)
+        # (-1)^3 + 3^3 + 2^3 = -1 + 27 + 8 = 34
+        assert table.popularity_score == pytest.approx(34.0)
+
+    def test_score_zero_without_tracker(self):
+        backend, tier, _ = make_env()
+        table = build_table(backend, tier, [put(b"a", 1)])
+        assert table.popularity_score == 0.0
+
+
+class TestSSTableRead:
+    def setup_method(self):
+        self.backend, self.tier, self.cache = make_env()
+        self.records = [put(f"k{i:04d}".encode(), i + 1, b"x" * 60) for i in range(200)]
+        self.table = build_table(self.backend, self.tier, self.records)
+
+    def test_get_every_key(self):
+        for record in self.records:
+            hit, latency, filtered = self.table.get(record.user_key, self.cache)
+            assert hit == record
+            assert latency > 0
+            assert not filtered
+
+    def test_get_absent_key_is_usually_filtered(self):
+        filtered_count = 0
+        for i in range(100):
+            hit, _, filtered = self.table.get(f"absent{i}".encode(), self.cache)
+            assert hit is None
+            filtered_count += filtered
+        assert filtered_count > 90  # bloom catches nearly all
+
+    def test_cached_get_is_cheaper(self):
+        key = self.records[50].user_key
+        _, cold, _ = self.table.get(key, self.cache)
+        _, warm, _ = self.table.get(key, self.cache)
+        assert warm < cold
+
+    def test_cache_counts_filter_index_data(self):
+        # A freshly built table has its filter and index resident in
+        # table memory (like RocksDB's table cache), so those accesses
+        # count as hits; the data block is a genuine miss.
+        self.table.get(self.records[0].user_key, self.cache)
+        assert self.cache.stats.hits.get(BlockType.FILTER) == 1
+        assert self.cache.stats.hits.get(BlockType.INDEX) == 1
+        assert self.cache.stats.misses.get(BlockType.DATA) == 1
+
+    def test_filter_loaded_from_device_once_when_not_resident(self):
+        # Simulate a reopened table: drop the resident copies.
+        self.table._bloom = None
+        self.table._index = None
+        self.table._index_keys = None
+        self.table.get(self.records[0].user_key, self.cache)
+        assert self.cache.stats.misses.get(BlockType.FILTER) == 1
+        assert self.cache.stats.misses.get(BlockType.INDEX) == 1
+        # Second access is served from table memory.
+        self.table.get(self.records[1].user_key, self.cache)
+        assert self.cache.stats.misses.get(BlockType.FILTER) == 1
+        assert self.cache.stats.hits.get(BlockType.FILTER) == 1
+
+    def test_overlaps(self):
+        assert self.table.overlaps(b"k0050", b"k0060")
+        assert self.table.overlaps(b"a", b"z")
+        assert not self.table.overlaps(b"l", b"z")
+        assert not self.table.overlaps(b"a", b"b")
+
+    def test_iter_from(self):
+        items = []
+        for record, _ in self.table.iter_from(b"k0190", self.cache):
+            items.append(record.user_key)
+        assert items == [f"k{i:04d}".encode() for i in range(190, 200)]
+
+    def test_iter_from_start(self):
+        count = sum(1 for _ in self.table.iter_from(b"", self.cache))
+        assert count == 200
+
+    def test_read_all_records(self):
+        records, latency = self.table.read_all_records()
+        assert records == self.records
+        assert latency >= 0
+
+    def test_multiple_versions_newest_wins(self):
+        backend, tier, cache = make_env()
+        records = [put(b"k", 9, b"new"), put(b"k", 3, b"old")]
+        table = build_table(backend, tier, records)
+        hit, _, _ = table.get(b"k", cache)
+        assert hit.value == b"new"
+        assert hit.seqno == 9

@@ -1,0 +1,154 @@
+"""Cross-system property tests: every engine variant obeys the KV contract.
+
+These tests drive randomized mixed workloads through RocksDBLike,
+PrismDB and MutantDB on heterogeneous layouts and assert the observable
+contract (reads see the newest committed write; scans return exactly the
+live key set) plus the structural invariants (level disjointness,
+newest-version-on-top) that pinned compaction §4.4 must preserve.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mutant import MutantDB, MutantOptions
+from repro.baselines.rocksdb import RocksDBLike
+from repro.common import KIB
+from repro.core import PrismDB, PrismOptions
+from repro.lsm import DBOptions
+
+
+def tiny_options(**kwargs):
+    defaults = dict(
+        memtable_bytes=2 * KIB,
+        target_file_bytes=2 * KIB,
+        level1_target_bytes=4 * KIB,
+        level_size_multiplier=4,
+        block_bytes=512,
+        block_cache_bytes=8 * KIB,
+    )
+    defaults.update(kwargs)
+    return DBOptions(**defaults)
+
+
+def make_system(name):
+    if name == "rocksdb":
+        return RocksDBLike.create("NNNTQ", tiny_options())
+    if name == "mutant":
+        return MutantDB.create("NNNTQ", tiny_options(), MutantOptions(epoch_usec=50_000))
+    return PrismDB.create(
+        "NNNTQ",
+        tiny_options(),
+        PrismOptions(tracker_capacity=32, pinning_threshold=0.4, require_full_tracker=False),
+    )
+
+
+SYSTEMS = ("rocksdb", "prismdb", "mutant")
+
+
+@st.composite
+def mixed_ops(draw):
+    keyspace = [f"key{i:03d}".encode() for i in range(40)]
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "get", "flush", "scan"]),
+                st.sampled_from(keyspace),
+                st.binary(min_size=1, max_size=40),
+            ),
+            max_size=150,
+        )
+    )
+
+
+class TestContractAcrossSystems:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    @given(ops=mixed_ops())
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_kv_contract(self, system, ops):
+        db = make_system(system)
+        model: dict[bytes, bytes] = {}
+        for op, key, value in ops:
+            if op == "put":
+                db.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                db.delete(key)
+                model.pop(key, None)
+            elif op == "flush":
+                db.flush()
+            elif op == "scan":
+                scanned = dict(db.scan(key, 100).items)
+                expected = {k: v for k, v in model.items() if k >= key}
+                assert scanned == expected
+            else:
+                assert db.get(key).value == model.get(key)
+        db.flush()
+        db.check_invariants()
+        assert dict(db.scan(b"", 1000).items) == model
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_sustained_skewed_churn(self, system):
+        db = make_system(system)
+        rng = random.Random(17)
+        keys = [f"key{i:04d}".encode() for i in range(250)]
+        hot = keys[:25]
+        model = {}
+        for step in range(6000):
+            roll = rng.random()
+            key = rng.choice(hot if rng.random() < 0.7 else keys)
+            if roll < 0.25:
+                value = rng.randbytes(30)
+                db.put(key, value)
+                model[key] = value
+            elif roll < 0.30:
+                db.delete(key)
+                model.pop(key, None)
+            else:
+                result = db.get(key)
+                assert result.value == model.get(key), (system, step, key)
+            # Keep the simulated clock moving so Mutant's epochs fire.
+            db.clock.advance(50.0)
+        db.check_invariants()
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_latencies_always_positive_and_finite(self, system):
+        db = make_system(system)
+        for i in range(500):
+            w = db.put(f"key{i:04d}".encode(), b"v" * 30)
+            assert 0 < w.latency_usec < 10_000_000
+        for i in range(0, 500, 7):
+            r = db.get(f"key{i:04d}".encode())
+            assert 0 < r.latency_usec < 10_000_000
+
+
+class TestTierPlacementInvariants:
+    def test_levels_stay_on_their_tiers_without_migration(self):
+        for system in ("rocksdb", "prismdb"):
+            db = make_system(system)
+            for i in range(3000):
+                db.put(f"key{i:05d}".encode(), b"v" * 30)
+            db.flush()
+            for level in range(db.manifest.num_levels):
+                expected = db.layout.tier_for_level(level)
+                for table in db.manifest.files(level):
+                    assert table.tier is expected, (system, level)
+
+    def test_mutant_may_move_files_off_their_level_tier(self):
+        db = make_system("mutant")
+        rng = random.Random(5)
+        for i in range(3000):
+            db.put(f"key{i:05d}".encode(), b"v" * 30)
+        db.flush()
+        for _ in range(2000):
+            db.get(f"key{rng.randrange(200):05d}".encode())
+            db.clock.advance(100.0)
+        db.run_optimizer_epoch()
+        placements = {
+            (level, table.tier.spec.name)
+            for level, table in db.manifest.all_files()
+        }
+        # At least one deep-level file should have been promoted to NVM.
+        assert any(level >= 3 and tech == "NVM" for level, tech in placements)

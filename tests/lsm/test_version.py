@@ -1,0 +1,144 @@
+"""Tests for the level manifest."""
+
+import pytest
+
+from repro.common import KIB, MIB, SimClock
+from repro.errors import CompactionError
+from repro.lsm.record import Record, ValueKind
+from repro.lsm.sstable import SSTableBuilder
+from repro.lsm.version import LevelManifest
+from repro.storage import NVM_SPEC, StorageBackend, StorageTier
+
+
+class ManifestFixture:
+    def __init__(self):
+        self.clock = SimClock()
+        self.backend = StorageBackend(self.clock)
+        self.tier = StorageTier("nvm", NVM_SPEC, 64 * MIB, self.clock)
+        self.seqno = 0
+
+    def table(self, lo: bytes, hi: bytes):
+        """Build a tiny table spanning [lo, hi]."""
+        builder = SSTableBuilder(
+            self.backend, self.tier, block_bytes=512, target_file_bytes=4 * KIB
+        )
+        self.seqno += 1
+        builder.add(Record(lo, self.seqno, ValueKind.PUT, b"v"))
+        if hi != lo:
+            self.seqno += 1
+            builder.add(Record(hi, self.seqno, ValueKind.PUT, b"v"))
+        table, _ = builder.finish()
+        return table
+
+
+@pytest.fixture
+def fx():
+    return ManifestFixture()
+
+
+class TestLevelManifest:
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            LevelManifest(1)
+
+    def test_l0_is_newest_first(self, fx):
+        manifest = LevelManifest(3)
+        first = fx.table(b"a", b"m")
+        second = fx.table(b"b", b"z")
+        manifest.add_file(0, first)
+        manifest.add_file(0, second)
+        assert manifest.files(0) == [second, first]
+
+    def test_l1_sorted_by_smallest(self, fx):
+        manifest = LevelManifest(3)
+        late = fx.table(b"m", b"p")
+        early = fx.table(b"a", b"c")
+        manifest.add_file(1, late)
+        manifest.add_file(1, early)
+        assert manifest.files(1) == [early, late]
+
+    def test_l1_overlap_rejected(self, fx):
+        manifest = LevelManifest(3)
+        manifest.add_file(1, fx.table(b"a", b"m"))
+        with pytest.raises(CompactionError):
+            manifest.add_file(1, fx.table(b"k", b"z"))
+        with pytest.raises(CompactionError):
+            manifest.add_file(1, fx.table(b"a", b"b"))
+
+    def test_l0_overlap_allowed(self, fx):
+        manifest = LevelManifest(3)
+        manifest.add_file(0, fx.table(b"a", b"m"))
+        manifest.add_file(0, fx.table(b"k", b"z"))  # no error
+        assert manifest.file_count(0) == 2
+
+    def test_remove_file(self, fx):
+        manifest = LevelManifest(3)
+        table = fx.table(b"a", b"b")
+        manifest.add_file(1, table)
+        manifest.remove_file(1, table)
+        assert manifest.file_count(1) == 0
+
+    def test_remove_missing_file_fails(self, fx):
+        manifest = LevelManifest(3)
+        with pytest.raises(CompactionError):
+            manifest.remove_file(1, fx.table(b"a", b"b"))
+
+    def test_candidates_l0_in_order(self, fx):
+        manifest = LevelManifest(3)
+        old = fx.table(b"a", b"m")
+        new = fx.table(b"c", b"z")
+        manifest.add_file(0, old)
+        manifest.add_file(0, new)
+        assert manifest.candidates_for_key(0, b"d") == [new, old]
+        assert manifest.candidates_for_key(0, b"b") == [old]
+        assert manifest.candidates_for_key(0, b"zz") == []
+
+    def test_candidates_l1_single_file(self, fx):
+        manifest = LevelManifest(3)
+        left = fx.table(b"a", b"c")
+        right = fx.table(b"m", b"p")
+        manifest.add_file(1, left)
+        manifest.add_file(1, right)
+        assert manifest.candidates_for_key(1, b"b") == [left]
+        assert manifest.candidates_for_key(1, b"n") == [right]
+        assert manifest.candidates_for_key(1, b"e") == []
+        assert manifest.candidates_for_key(1, b"q") == []
+
+    def test_overlapping_files(self, fx):
+        manifest = LevelManifest(3)
+        a = fx.table(b"a", b"c")
+        b = fx.table(b"e", b"g")
+        c = fx.table(b"m", b"p")
+        for table in (a, b, c):
+            manifest.add_file(1, table)
+        assert manifest.overlapping_files(1, b"b", b"f") == [a, b]
+        assert manifest.overlapping_files(1, b"h", b"j") == []
+
+    def test_level_bytes_and_counts(self, fx):
+        manifest = LevelManifest(3)
+        table = fx.table(b"a", b"b")
+        manifest.add_file(1, table)
+        assert manifest.level_bytes(1) == table.size_bytes
+        assert manifest.file_count() == 1
+        assert manifest.total_bytes() == table.size_bytes
+
+    def test_level_of(self, fx):
+        manifest = LevelManifest(3)
+        table = fx.table(b"a", b"b")
+        manifest.add_file(2, table)
+        assert manifest.level_of(table) == 2
+        assert manifest.level_of(fx.table(b"x", b"y")) is None
+
+    def test_check_invariants_passes_on_valid(self, fx):
+        manifest = LevelManifest(3)
+        manifest.add_file(1, fx.table(b"a", b"c"))
+        manifest.add_file(1, fx.table(b"e", b"g"))
+        manifest.check_invariants()
+
+    def test_all_files_iterates_levels(self, fx):
+        manifest = LevelManifest(3)
+        t0 = fx.table(b"a", b"b")
+        t1 = fx.table(b"c", b"d")
+        manifest.add_file(0, t0)
+        manifest.add_file(1, t1)
+        assert list(manifest.all_files()) == [(0, t0), (1, t1)]
