@@ -27,6 +27,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 QUICK_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default") == "quick"
 
 
+def pytest_collection_modifyitems(items):
+    """Tag every benchmark so ``-m "not bench"`` skips this directory."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def check_shape(condition: bool, message: str = "") -> None:
     """Assert a paper-shape property unless running the quick profile."""
     if QUICK_SCALE:

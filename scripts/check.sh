@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI-style check: compile, lint (when ruff is available), unit tests.
+#
+# The bench marker keeps the paper-artifact simulations out of this
+# pass; run `pytest benchmarks` separately for those.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== compileall =="
+python -m compileall -q src tests
+
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    if command -v ruff >/dev/null 2>&1; then
+        ruff check src tests
+    else
+        python -m ruff check src tests
+    fi
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== unit tests (-m 'not bench') =="
+python -m pytest -m "not bench" "$@"

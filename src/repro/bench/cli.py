@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench list
     python -m repro.bench table1 fig4 table3        # analytic, fast
     python -m repro.bench fig9a                     # runs simulations
+    python -m repro.bench report --metrics          # registry-driven report
     REPRO_BENCH_SCALE=quick python -m repro.bench all
 """
 
@@ -43,12 +44,18 @@ EXPERIMENTS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "report":
+        from repro.bench.report import main as report_main
+
+        return report_main(args[1:])
     if not args or args == ["list"] or "-h" in args or "--help" in args:
         print(__doc__)
         print("Available experiments:")
         for name, (title, _, needs_runner) in EXPERIMENTS.items():
             kind = "simulation" if needs_runner else "analytic"
             print(f"  {name:22s} {title} [{kind}]")
+        print("  report                 Registry-driven run report"
+              " (see --help) [simulation]")
         return 0
     names = list(EXPERIMENTS) if args == ["all"] else args
     unknown = [name for name in names if name not in EXPERIMENTS]

@@ -124,6 +124,9 @@ class RunResult:
     #: rate (the paper's 3-year provisioning criterion, measured).
     device_lifetime_years: dict[str, float] = field(default_factory=dict)
     storage_cost_dollars: float = 0.0
+    #: JSON-safe snapshot of the run's :class:`~repro.obs.MetricsRegistry`
+    #: (every counter/gauge/histogram series; see docs/OBSERVABILITY.md).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def total_io_read_bytes(self) -> int:
@@ -148,6 +151,21 @@ class WorkloadRunner:
         #: ("memtable", "L0".."L4", "miss"): where does the tail live?
         self.read_latency_by_source: dict[str, LatencyRecorder] = {}
         self._ops_run = 0
+        # Registry-side mirrors of the recorders above: bucketed
+        # histograms in the DB's MetricsRegistry, so `repro.bench report`
+        # can rebuild the latency tables from the snapshot alone.
+        self._op_hist = {
+            op: db.metrics.histogram("op.latency_usec", op=op)
+            for op in ("read", "update", "scan")
+        }
+        self._source_hist: dict[str, object] = {}
+
+    def _observe_read(self, source: str, latency: float) -> None:
+        hist = self._source_hist.get(source)
+        if hist is None:
+            hist = self.db.metrics.histogram("read.latency_usec", source=source)
+            self._source_hist[source] = hist
+        hist.observe(latency)
 
     def load(self, workload: YCSBWorkload) -> float:
         """Load phase; returns simulated elapsed usec."""
@@ -183,12 +201,16 @@ class WorkloadRunner:
                     result.served_by, LatencyRecorder()
                 )
                 bucket.record(latency)
+                self._op_hist["read"].observe(latency)
+                self._observe_read(result.served_by, latency)
             elif request.kind in (OpKind.UPDATE, OpKind.INSERT):
                 latency = self.db.put(request.key, request.value).latency_usec
                 self.update_latency.record(latency)
+                self._op_hist["update"].observe(latency)
             else:
                 latency = self.db.scan(request.key, request.scan_length).latency_usec
                 self.read_latency.record(latency)
+                self._op_hist["scan"].observe(latency)
             self._ops_run += 1
             self.db.clock.advance(latency / self.clients)
         return self.db.clock.now - start
@@ -248,6 +270,7 @@ class WorkloadRunner:
             device_wear_cycles=device_wear,
             device_lifetime_years=device_life,
             storage_cost_dollars=db.layout.total_cost_dollars(),
+            metrics=db.metrics.snapshot(),
         )
 
 

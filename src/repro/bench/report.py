@@ -1,0 +1,121 @@
+"""``python -m repro.bench report``: observability-driven run reports.
+
+Runs one YCSB workload against one system and prints views derived
+*entirely* from the run's :class:`~repro.obs.MetricsRegistry` snapshot —
+the per-phase latency breakdown (the Fig. 10 reproduction), the full
+metrics dump, and optionally a JSONL trace of flush/compaction spans
+(openable in chrome://tracing after ``jsonl_to_chrome_json``; see
+``docs/OBSERVABILITY.md``).
+
+Usage::
+
+    python -m repro.bench report                       # breakdown table
+    python -m repro.bench report --metrics             # full registry dump
+    python -m repro.bench report --trace run.trace.jsonl
+    python -m repro.bench report --system rocksdb --ops 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import SystemConfig, WorkloadRunner, build_system
+from repro.bench.reporting import (
+    format_experiment,
+    format_metrics_snapshot,
+    latency_breakdown_table,
+)
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench report",
+        description="Run a workload and report from the metrics registry.",
+    )
+    parser.add_argument("--system", default="prismdb",
+                        choices=("rocksdb", "prismdb", "mutant"))
+    parser.add_argument("--layout", default="NNNTQ", help="tier layout code")
+    parser.add_argument("--records", type=int, default=5_000,
+                        help="YCSB record count (default: 5000)")
+    parser.add_argument("--ops", type=int, default=10_000,
+                        help="measured operations (default: 10000)")
+    parser.add_argument("--read-pct", type=int, default=50,
+                        help="read percentage; 50 = YCSB-A (default: 50)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the full metrics-registry snapshot")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the latency breakdown table")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the raw snapshot as JSON instead of tables")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record spans during the run; write JSONL here")
+    parser.add_argument("--trace-sample-every", type=int, default=1,
+                        help="keep every Nth span (default: all)")
+    return parser
+
+
+def run_report(args: argparse.Namespace) -> int:
+    workload_config = YCSBConfig.read_update(
+        args.read_pct,
+        record_count=args.records,
+        operation_count=args.ops,
+        seed=args.seed,
+    )
+    system_config = SystemConfig(
+        system=args.system, layout_code=args.layout, seed=args.seed
+    )
+    workload = YCSBWorkload(workload_config)
+    db = build_system(system_config, workload)
+    if args.trace:
+        # Fail on an unwritable path now, not after the simulation ran.
+        with open(args.trace, "w", encoding="utf-8"):
+            pass
+        db.tracer.enable(sample_every=args.trace_sample_every)
+    runner = WorkloadRunner(db, clients=system_config.clients)
+    runner.load(workload)
+    elapsed = runner.run(workload)
+    result = runner.result(
+        f"{args.system}/{args.layout}", system_config, elapsed
+    )
+
+    if args.json:
+        print(json.dumps(result.metrics, indent=2, sort_keys=True))
+    else:
+        # Default to the breakdown view when no section was requested.
+        show_breakdown = args.breakdown or not args.metrics
+        if show_breakdown:
+            headers, rows = latency_breakdown_table(result.metrics)
+            print(
+                format_experiment(
+                    f"Latency breakdown: {result.label} "
+                    f"({result.operations} ops, "
+                    f"{result.throughput_kops:.1f} kops/s)",
+                    headers,
+                    rows,
+                    notes="Derived from the metrics registry alone (Fig. 10).",
+                )
+            )
+        if args.metrics:
+            print(f"== Metrics registry: {result.label} ==")
+            print(format_metrics_snapshot(result.metrics))
+    if args.trace:
+        written = db.tracer.write_jsonl(args.trace)
+        dropped = db.tracer.dropped_events
+        suffix = f" ({dropped} dropped)" if dropped else ""
+        print(f"wrote {written} trace events to {args.trace}{suffix}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return run_report(args)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -40,3 +40,94 @@ def fmt(value: float, digits: int = 1) -> str:
 
 def pct(value: float) -> str:
     return f"{value * 100:.1f}%"
+
+
+# ----------------------------------------------------------------------
+# Registry-driven views (see docs/OBSERVABILITY.md)
+# ----------------------------------------------------------------------
+def _series_name(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def format_metrics_snapshot(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as two text tables.
+
+    Scalars (counters and gauges) come first, one series per row;
+    histogram series follow with their precomputed summary columns. The
+    input is the plain-dict snapshot, so this also works on snapshots
+    loaded back from JSON.
+    """
+    scalar_rows = []
+    histogram_rows = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        for row in entry["series"]:
+            series = _series_name(name, row["labels"])
+            if entry["type"] == "histogram":
+                histogram_rows.append(
+                    [
+                        series,
+                        row["count"],
+                        fmt(row["mean"]),
+                        fmt(row["p50"]),
+                        fmt(row["p95"]),
+                        fmt(row["p99"]),
+                        fmt(row["max"]),
+                    ]
+                )
+            else:
+                value = row["value"]
+                scalar_rows.append(
+                    [series, f"{value:.0f}" if value == int(value) else fmt(value, 2)]
+                )
+    parts = []
+    if scalar_rows:
+        parts.append(format_table(["metric", "value"], scalar_rows))
+    if histogram_rows:
+        parts.append(
+            format_table(
+                ["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+                histogram_rows,
+            )
+        )
+    return "\n\n".join(parts) if parts else "(no metrics recorded)"
+
+
+def latency_breakdown_table(snapshot: dict) -> tuple[list[str], list[list[object]]]:
+    """The Fig. 10 latency breakdown, derived from a registry snapshot.
+
+    One row per operation kind (``op.latency_usec``) followed by one row
+    per read-serving source (``read.latency_usec``), each with its share
+    of operations and nearest-rank percentiles — built from the bucketed
+    histograms alone, no per-sample data required.
+    """
+    headers = ["phase", "ops", "share", "mean_us", "p50_us", "p95_us", "p99_us", "max_us"]
+    rows: list[list[object]] = []
+
+    def section(metric: str, prefix: str) -> None:
+        entry = snapshot.get(metric)
+        if entry is None:
+            return
+        series = [row for row in entry["series"] if row["count"]]
+        total = sum(row["count"] for row in series) or 1
+        for row in sorted(series, key=lambda r: -r["count"]):
+            label = next(iter(row["labels"].values()), "?")
+            rows.append(
+                [
+                    f"{prefix}{label}",
+                    row["count"],
+                    pct(row["count"] / total),
+                    fmt(row["mean"]),
+                    fmt(row["p50"]),
+                    fmt(row["p95"]),
+                    fmt(row["p99"]),
+                    fmt(row["max"]),
+                ]
+            )
+
+    section("op.latency_usec", "op:")
+    section("read.latency_usec", "read from ")
+    return headers, rows

@@ -6,6 +6,7 @@ from repro.common.stats import (
     CounterSet,
     LatencyRecorder,
     LatencySummary,
+    nearest_rank,
     throughput_kops,
 )
 from repro.common.units import (
@@ -31,6 +32,7 @@ __all__ = [
     "CounterSet",
     "LatencyRecorder",
     "LatencySummary",
+    "nearest_rank",
     "throughput_kops",
     "BLOCK_SIZE",
     "GIB",

@@ -7,7 +7,21 @@ method on the sorted sample vector, matching what YCSB reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+
+def nearest_rank(ordered: list[float], pct: float) -> float:
+    """Deterministic nearest-rank percentile of a sorted population.
+
+    Uses the textbook rank ``ceil(pct/100 * n)`` (1-based, clamped to
+    [1, n]). ``round()`` is *not* used: banker's rounding made small
+    populations inconsistent (p25 of 10 samples landed on rank 2 instead
+    of 3 because ``round(2.5) == 2``).
+    """
+    n = len(ordered)
+    rank = min(n, max(1, math.ceil(pct / 100.0 * n)))
+    return ordered[rank - 1]
 
 
 @dataclass
@@ -52,11 +66,7 @@ class LatencyRecorder:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
-        if pct == 0.0:
-            rank = 0
-        return ordered[rank]
+        return nearest_rank(sorted(self._samples), pct)
 
     def summary(self) -> LatencySummary:
         """Compute count/mean/p50/p95/p99/max in one pass."""
@@ -64,17 +74,12 @@ class LatencyRecorder:
             return LatencySummary.empty()
         ordered = sorted(self._samples)
         n = len(ordered)
-
-        def rank(pct: float) -> float:
-            idx = max(0, min(n - 1, int(round(pct / 100.0 * n)) - 1))
-            return ordered[idx]
-
         return LatencySummary(
             count=n,
             mean=sum(ordered) / n,
-            p50=rank(50.0),
-            p95=rank(95.0),
-            p99=rank(99.0),
+            p50=nearest_rank(ordered, 50.0),
+            p95=nearest_rank(ordered, 95.0),
+            p99=nearest_rank(ordered, 99.0),
             maximum=ordered[-1],
         )
 

@@ -94,6 +94,8 @@ class PrismDB(LsmDB):
             router=self.placer,
             **kwargs,
         )
+        self.tracker.bind_observability(self.metrics)
+        self._obs_tracked_reads = self.metrics.counter("prism.tracked_reads")
 
     @classmethod
     def create(
@@ -129,6 +131,7 @@ class PrismDB(LsmDB):
         # Tracker insertion sits on the read critical path; eviction is
         # deferred to the "background" sweep right after.
         latency = result.latency_usec + self.options.tracker_overhead_usec
+        self._obs_tracked_reads.inc()
         self.tracker.on_read(user_key, result.seqno or 0)
         self.tracker.run_evictions(self.prism_options.eviction_steps_per_read)
         return replace(result, latency_usec=latency)

@@ -41,3 +41,7 @@ class DBClosedError(ReproError):
 
 class CompactionError(ReproError):
     """A compaction job could not be planned or executed."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics registry (type clash, label cardinality)."""

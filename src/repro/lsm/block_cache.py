@@ -69,6 +69,29 @@ class BlockCache:
         self._entries: OrderedDict[tuple[int, int], bytes] = OrderedDict()
         self._file_index: dict[int, set[tuple[int, int]]] = {}
         self._used_bytes = 0
+        self._obs_hits: dict[BlockType, object] | None = None
+        self._obs_misses: dict[BlockType, object] | None = None
+
+    def bind_observability(self, registry) -> None:
+        """Mirror hit/miss accounting into ``registry`` (cache.* series)."""
+        self._obs_hits = {
+            bt: registry.counter("cache.hits", type=bt.value) for bt in BlockType
+        }
+        self._obs_misses = {
+            bt: registry.counter("cache.misses", type=bt.value) for bt in BlockType
+        }
+
+    def record_resident_hit(self, block_type: BlockType) -> None:
+        """Count a hit served from table-resident memory (filter/index).
+
+        SSTables keep their filter and index blocks resident after first
+        load (RocksDB's table cache); those accesses are DRAM hits and
+        are accounted here so "hits + misses == every block lookup"
+        holds as a conservation invariant.
+        """
+        self.stats.record_hit(block_type)
+        if self._obs_hits is not None:
+            self._obs_hits[block_type].inc()
 
     @property
     def used_bytes(self) -> int:
@@ -95,8 +118,12 @@ class BlockCache:
         if cached is not None:
             self._entries.move_to_end(key)
             self.stats.record_hit(block_type)
+            if self._obs_hits is not None:
+                self._obs_hits[block_type].inc()
             return cached, DRAM_SPEC.read_time_usec(len(cached))
         self.stats.record_miss(block_type)
+        if self._obs_misses is not None:
+            self._obs_misses[block_type].inc()
         data, latency = loader()
         self._insert(key, data)
         return data, latency

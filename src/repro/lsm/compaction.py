@@ -29,6 +29,7 @@ from repro.lsm.options import DBOptions
 from repro.lsm.record import Record
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.version import LevelManifest
+from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
 from repro.storage.backend import StorageBackend
 
 
@@ -147,6 +148,9 @@ class CompactionExecutor:
         cache: BlockCache,
         picker: CompactionPicker,
         router: MergeRouter,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._backend = backend
         self._manifest = manifest
@@ -156,6 +160,17 @@ class CompactionExecutor:
         self._picker = picker
         self._router = router
         self.stats = CompactionStats()
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NOOP_TRACER
+
+    def note_level_write(self, level: int, n_bytes: int) -> None:
+        """Account output bytes landing at ``level`` (flush or compaction)."""
+        self.stats.note_level_write(level, n_bytes)
+        self.metrics.counter(
+            "compaction.write_bytes",
+            level=level,
+            tier=self._layout.tier_for_level(level).name,
+        ).inc(n_bytes)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -232,20 +247,57 @@ class CompactionExecutor:
             self._manifest.remove_file(level, table)
             self._manifest.add_file(level + 1, table)
             self.stats.trivial_moves += 1
+            self.metrics.counter("compaction.trivial_moves", level=level).inc()
+            self.tracer.instant(
+                "trivial_move", level=level, file_id=table.file_id,
+                bytes=table.size_bytes,
+            )
             return
 
         self._merge(level, upper_inputs, lower_inputs, upper_lo, upper_hi)
 
-    def _read_inputs(self, tables: list[SSTable]) -> list[list[Record]]:
+    def _read_inputs(self, tables: list[SSTable], level: int) -> list[list[Record]]:
         sources = []
+        read_counter = self.metrics.counter("compaction.read_bytes", level=level)
         for table in tables:
             records, _ = table.read_all_records(foreground=False)
             self.stats.bytes_read += table.size_bytes
             self.stats.records_in += len(records)
+            read_counter.inc(table.size_bytes)
             sources.append(records)
         return sources
 
     def _merge(
+        self,
+        level: int,
+        upper_inputs: list[SSTable],
+        lower_inputs: list[SSTable],
+        upper_lo: bytes,
+        upper_hi: bytes,
+    ) -> None:
+        lower_level = level + 1
+        upper_tier = self._layout.tier_for_level(level)
+        lower_tier = self._layout.tier_for_level(lower_level)
+        devices = {id(t.device): t.device for t in (upper_tier, lower_tier)}.values()
+        busy_before = sum(device.stats.busy_usec for device in devices)
+        span = self.tracer.span(
+            "compaction",
+            level=level,
+            tier=upper_tier.name,
+            lower_tier=lower_tier.name,
+            inputs=len(upper_inputs) + len(lower_inputs),
+        )
+        with span:
+            self._merge_inner(level, upper_inputs, lower_inputs, upper_lo, upper_hi)
+            # Background I/O returns zero foreground latency, so the
+            # simulated clock does not move during a compaction; the
+            # span's duration is instead the device service time the job
+            # consumed — the quantity Fig. 10/12 attribute.
+            span.set_duration(
+                sum(device.stats.busy_usec for device in devices) - busy_before
+            )
+
+    def _merge_inner(
         self,
         level: int,
         upper_inputs: list[SSTable],
@@ -268,9 +320,9 @@ class CompactionExecutor:
             level, lower_level, upper_lo, upper_hi, upper_budget, upper_budget
         )
 
-        sources = self._read_inputs(upper_inputs)
+        sources = self._read_inputs(upper_inputs, level)
         source_levels = [level] * len(upper_inputs)
-        sources.extend(self._read_inputs(lower_inputs))
+        sources.extend(self._read_inputs(lower_inputs, lower_level))
         source_levels.extend([lower_level] * len(lower_inputs))
 
         # Tag each record with its source level so the router can tell a
@@ -283,6 +335,9 @@ class CompactionExecutor:
 
         upper_writer = _OutputWriter(self, level)
         lower_writer = _OutputWriter(self, lower_level)
+        pinned_counter = self.metrics.counter("compaction.records", kind="pinned")
+        pulled_counter = self.metrics.counter("compaction.records", kind="pulled_up")
+        dropped_counter = self.metrics.counter("compaction.records", kind="tombstone_dropped")
         last_key: bytes | None = None
         for record in merge_records(sources):
             # Shadowing: the first record per user key (internal order)
@@ -302,12 +357,15 @@ class CompactionExecutor:
             if route_up:
                 if source_level == level:
                     self.stats.records_pinned += 1
+                    pinned_counter.inc()
                 else:
                     self.stats.records_pulled_up += 1
+                    pulled_counter.inc()
                 upper_writer.add(record)
                 continue
             if record.is_tombstone and bottom:
                 self.stats.tombstones_dropped += 1
+                dropped_counter.inc()
                 continue
             lower_writer.add(record)
 
@@ -327,6 +385,7 @@ class CompactionExecutor:
             self._backend.delete_file(table.file)
 
         self.stats.compactions += 1
+        self.metrics.counter("compaction.count", level=level).inc()
 
     def make_builder(self, level: int) -> SSTableBuilder:
         """A builder writing to ``level``'s tier with router-driven scoring."""
@@ -362,7 +421,7 @@ class _OutputWriter:
         assert self._builder is not None
         table, _ = self._builder.finish(foreground=False)
         self._executor.stats.bytes_written += table.size_bytes
-        self._executor.stats.note_level_write(self._level, table.size_bytes)
+        self._executor.note_level_write(self._level, table.size_bytes)
         self._tables.append(table)
         self._builder = None
 

@@ -32,6 +32,7 @@ from repro.lsm.row_cache import RowCache
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.version import LevelManifest
 from repro.lsm.wal import WriteAheadLog
+from repro.obs import MetricsRegistry, Tracer
 from repro.storage.backend import StorageBackend
 from repro.storage.device import DRAM_SPEC
 
@@ -104,6 +105,8 @@ class LsmDB:
         backend: StorageBackend | None = None,
         picker: CompactionPicker | None = None,
         router: MergeRouter | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
         name: str = "lsm",
     ) -> None:
         self.options = options or DBOptions()
@@ -116,7 +119,15 @@ class LsmDB:
         self.layout = layout
         self.clock = clock or SimClock()
         self.backend = backend or StorageBackend(self.clock)
+        #: The observability substrate: one registry + tracer per DB
+        #: instance. The tracer starts disabled (zero overhead); call
+        #: ``db.tracer.enable()`` to record spans.
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or Tracer(self.clock, enabled=False)
+        for tier in layout.tiers:
+            tier.device.bind_observability(self.metrics, tier=tier.name)
         self.cache = BlockCache(self.options.block_cache_bytes)
+        self.cache.bind_observability(self.metrics)
         self.row_cache = RowCache(self.options.row_cache_bytes)
         self.manifest = LevelManifest(self.options.num_levels)
         self.picker = picker or LargestFilePicker()
@@ -129,6 +140,8 @@ class LsmDB:
             self.cache,
             self.picker,
             self.router,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.wal = WriteAheadLog(layout.wal_tier) if self.options.wal_enabled else None
         # The MANIFEST lives next to the WAL on the fastest tier; every
@@ -142,6 +155,14 @@ class LsmDB:
         self._memtable = Memtable(seed=self.options.seed)
         self._seqno = 0
         self._closed = False
+        #: Memoized per-source counters for the read path (avoids a
+        #: registry lookup per get).
+        self._read_source_counters: dict[str, object] = {}
+        self._obs_user_writes = self.metrics.counter("db.writes")
+        self._obs_user_write_bytes = self.metrics.counter("db.write_bytes")
+        self._obs_flush_count = self.metrics.counter("db.flush.count")
+        self._obs_flush_bytes = self.metrics.counter("db.flush.bytes")
+        self._obs_bloom_skips = self.metrics.counter("db.bloom_negative_skips")
         #: Optional hook invoked as hook(user_key, record) on each read
         #: hit; PrismDB attaches the tracker here.
         self.read_hook = None
@@ -191,6 +212,8 @@ class LsmDB:
         latency += DRAM_SPEC.write_time_usec(record.encoded_size())
         self.stats.user_writes += 1
         self.stats.user_write_bytes += record.encoded_size()
+        self._obs_user_writes.inc()
+        self._obs_user_write_bytes.inc(record.encoded_size())
         flushed = False
         compactions = 0
         if self._memtable.approximate_bytes >= self.options.memtable_bytes:
@@ -293,13 +316,23 @@ class LsmDB:
             clock_value_fn=self.router.clock_value_fn(),
             score_exponent=self.options.score_exponent,
         )
-        for record in self._memtable.records():
-            builder.add(record)
-        table, _ = builder.finish(foreground=False)
-        self.manifest.add_file(0, table)
+        l0_tier = self.layout.tier_for_level(0)
+        busy_before = l0_tier.device.stats.busy_usec
+        with self.tracer.span(
+            "flush", tier=l0_tier.name, entries=len(self._memtable)
+        ) as span:
+            for record in self._memtable.records():
+                builder.add(record)
+            table, _ = builder.finish(foreground=False)
+            self.manifest.add_file(0, table)
+            # Flush I/O is background: the clock does not advance, so the
+            # span duration is the modeled device service time instead.
+            span.set_duration(l0_tier.device.stats.busy_usec - busy_before)
         self.stats.flush_count += 1
         self.stats.flush_bytes += table.size_bytes
-        self.executor.stats.note_level_write(0, table.size_bytes)
+        self._obs_flush_count.inc()
+        self._obs_flush_bytes.inc(table.size_bytes)
+        self.executor.note_level_write(0, table.size_bytes)
         if self.wal is not None:
             self.wal.truncate()
         self._memtable = Memtable(seed=self.options.seed + self.stats.flush_count)
@@ -343,6 +376,7 @@ class LsmDB:
                     )
                     if filtered:
                         self.stats.bloom_negative_skips += 1
+                        self._obs_bloom_skips.inc()
                     if hit is not None:
                         found = hit
                         break
@@ -364,6 +398,11 @@ class LsmDB:
         if result.value is not None:
             self.stats.user_read_bytes += len(result.value)
         self.stats.reads_by_source.add(result.served_by)
+        counter = self._read_source_counters.get(result.served_by)
+        if counter is None:
+            counter = self.metrics.counter("db.reads", source=result.served_by)
+            self._read_source_counters[result.served_by] = counter
+        counter.inc()
         if self.read_hook is not None:
             self.read_hook(user_key, result)
         return result
@@ -409,6 +448,10 @@ class LsmDB:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """A JSON-safe snapshot of every registered metric series."""
+        return self.metrics.snapshot()
+
     def total_data_bytes(self) -> int:
         """Bytes currently stored across all levels (excl. memtable)."""
         return self.manifest.total_bytes()

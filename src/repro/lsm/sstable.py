@@ -154,7 +154,7 @@ class SSTable:
         # the device on first access, then resident in table memory for
         # the file's lifetime. Resident accesses are DRAM hits.
         if self._bloom is not None:
-            cache.stats.record_hit(BlockType.FILTER)
+            cache.record_resident_hit(BlockType.FILTER)
             return self._bloom, DRAM_SPEC.read_time_usec(self.filter_length)
         data, latency = self._fetch(
             self.filter_offset, self.filter_length, BlockType.FILTER, cache, foreground=foreground
@@ -165,7 +165,7 @@ class SSTable:
     def _index_entries(self, cache: BlockCache, *, foreground: bool = True) -> tuple[list[IndexEntry], float]:
         # Index blocks live in the table cache as well (see above).
         if self._index is not None:
-            cache.stats.record_hit(BlockType.INDEX)
+            cache.record_resident_hit(BlockType.INDEX)
             return self._index, DRAM_SPEC.read_time_usec(self.index_length)
         data, latency = self._fetch(
             self.index_offset, self.index_length, BlockType.INDEX, cache, foreground=foreground

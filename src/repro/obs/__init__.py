@@ -1,0 +1,47 @@
+"""Observability: the metrics registry and the simulated-clock tracer.
+
+``repro.obs`` is the substrate every layer reports into:
+
+* :class:`MetricsRegistry` — named counters/gauges/histograms with
+  labeled dimensions (``tier``, ``level``, ``op``, ``source``, ...),
+  snapshot once per run; per-tier I/O accounting and the Fig. 10 latency
+  breakdown are derived from it alone.
+* :class:`Tracer` — ``with tracer.span("compaction", tier="tlc"): ...``
+  spans stamped with *simulated* time, emitted as chrome-trace events
+  (JSONL on disk, loadable in chrome://tracing / Perfetto).
+
+See ``docs/OBSERVABILITY.md`` for the naming scheme, the trace schema
+and worked examples.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    format_series,
+    label_key,
+)
+from repro.obs.tracing import (
+    NOOP_TRACER,
+    Tracer,
+    jsonl_to_chrome_json,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "exponential_buckets",
+    "format_series",
+    "label_key",
+    "Tracer",
+    "NOOP_TRACER",
+    "jsonl_to_chrome_json",
+    "read_jsonl",
+]

@@ -1,0 +1,337 @@
+"""The metrics registry: counters, gauges and log-bucketed histograms.
+
+Every component registers its instruments by *name* plus a small set of
+*labels* (``tier``, ``level``, ``op``, ``component``, ...), following the
+``component.metric{label=value}`` naming scheme documented in
+``docs/OBSERVABILITY.md``. One :class:`MetricsRegistry` lives on each
+database instance; the harness snapshots it after a run and every report
+(the Fig. 10 latency breakdown, the Fig. 12 I/O accounting) is derived
+from that snapshot alone instead of bespoke stat plumbing.
+
+Histograms use *fixed, log-spaced bucket boundaries* so memory stays
+bounded no matter how many samples are observed — the replacement for
+the unbounded per-sample lists the harness used to keep. Percentiles are
+nearest-rank over the cumulative bucket counts, reported at the bucket's
+upper bound (clamped to the observed maximum), which for the default
+base-2 boundaries bounds the relative error by the bucket width.
+
+Two guards keep instrumentation honest:
+
+* a metric name must always be used with one instrument type and one
+  label-name set (re-registering ``device.read_bytes`` as a histogram, or
+  with different label names, raises :class:`ObservabilityError`);
+* each metric name may hold at most ``max_series_per_metric`` distinct
+  label combinations, so an unbounded label value (a raw key, a file id)
+  fails fast instead of silently exhausting memory.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterator
+
+from repro.common.stats import LatencySummary
+from repro.errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: Label key: canonical, hashable form of one label combination.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    """Canonicalize a label dict: sorted (name, str(value)) pairs."""
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def format_series(name: str, key: LabelKey) -> str:
+    """Render ``component.metric{label=value,...}`` for display."""
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically non-decreasing value (float, so usec sums fit)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions (occupancy, backlog)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` log-spaced upper bounds: start, start*factor, ..."""
+    if start <= 0:
+        raise ValueError(f"bucket start must be positive: {start}")
+    if factor <= 1.0:
+        raise ValueError(f"bucket factor must be > 1: {factor}")
+    if count < 1:
+        raise ValueError(f"bucket count must be >= 1: {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default latency boundaries: powers of two from 1 us to ~67 s (2^26 us).
+#: 27 buckets plus one overflow bucket cover every simulated latency the
+#: device models can produce at <= 2x relative error per bucket.
+DEFAULT_LATENCY_BUCKETS = exponential_buckets(1.0, 2.0, 27)
+
+
+class Histogram:
+    """Fixed-bucket histogram with nearest-rank percentile estimates.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything beyond the last edge.
+    Memory is O(len(bounds)) regardless of sample count.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative observation: {value}")
+        # Bisect over fixed bounds; linear scan would also do for ~28
+        # buckets but bisect keeps the hot path O(log n).
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile estimate from the bucket counts.
+
+        Returns the upper bound of the bucket holding the ranked sample,
+        clamped to the observed max (the overflow bucket and the final
+        bucket report the true maximum, so p100 is always exact).
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile out of range: {pct}")
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(pct / 100.0 * self.count)))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index >= len(self.bounds):
+                    return self.maximum
+                return min(self.bounds[index], self.maximum)
+        return self.maximum  # pragma: no cover - unreachable
+
+    def summary(self) -> LatencySummary:
+        """The same shape :class:`LatencyRecorder` reports, from buckets."""
+        if self.count == 0:
+            return LatencySummary.empty()
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean,
+            p50=self.percentile(50.0),
+            p95=self.percentile(95.0),
+            p99=self.percentile(99.0),
+            maximum=self.maximum,
+        )
+
+
+class MetricsRegistry:
+    """Named, labeled instruments with snapshot and query support."""
+
+    def __init__(self, *, max_series_per_metric: int = 256) -> None:
+        if max_series_per_metric < 1:
+            raise ObservabilityError("max_series_per_metric must be >= 1")
+        self.max_series_per_metric = max_series_per_metric
+        # name -> (kind, labelnames, {label_key: instrument})
+        self._metrics: dict[str, tuple[str, frozenset[str], dict[LabelKey, object]]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind: str, factory, labels: dict[str, object]):
+        entry = self._metrics.get(name)
+        if entry is None:
+            if not _NAME_RE.match(name):
+                raise ObservabilityError(
+                    f"invalid metric name {name!r} (want dotted lower_snake)"
+                )
+            entry = (kind, frozenset(labels), {})
+            self._metrics[name] = entry
+        existing_kind, labelnames, series = entry
+        if existing_kind != kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {existing_kind}, not {kind}"
+            )
+        if labelnames != frozenset(labels):
+            raise ObservabilityError(
+                f"metric {name!r} uses labels {sorted(labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        key = label_key(labels)
+        instrument = series.get(key)
+        if instrument is None:
+            if len(series) >= self.max_series_per_metric:
+                raise ObservabilityError(
+                    f"metric {name!r} exceeds {self.max_series_per_metric} "
+                    f"label combinations (runaway label cardinality?)"
+                )
+            instrument = factory()
+            series[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create a counter for one label combination."""
+        return self._get_or_create(name, "counter", Counter, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(name, "gauge", Gauge, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(name, "histogram", lambda: Histogram(buckets), labels)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def series(self, name: str) -> Iterator[tuple[dict[str, str], object]]:
+        """Yield (labels, instrument) for every series of ``name``."""
+        entry = self._metrics.get(name)
+        if entry is None:
+            return
+        for key, instrument in entry[2].items():
+            yield dict(key), instrument
+
+    def value(self, name: str, **labels) -> float:
+        """One series' scalar value; 0.0 if the series does not exist."""
+        entry = self._metrics.get(name)
+        if entry is None:
+            return 0.0
+        instrument = entry[2].get(label_key(labels))
+        if instrument is None:
+            return 0.0
+        if isinstance(instrument, Histogram):
+            return float(instrument.count)
+        return instrument.value
+
+    def total(self, name: str, **label_filter) -> float:
+        """Sum of all series of ``name`` whose labels match the filter.
+
+        Histogram series contribute their observation *count*. This is
+        the workhorse for conservation checks, e.g.
+        ``registry.total("device.write_bytes", tier="qlc-L4")``.
+        """
+        wanted = {k: str(v) for k, v in label_filter.items()}
+        out = 0.0
+        for labels, instrument in self.series(name):
+            if all(labels.get(k) == v for k, v in wanted.items()):
+                if isinstance(instrument, Histogram):
+                    out += instrument.count
+                else:
+                    out += instrument.value
+        return out
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-safe snapshot of every series.
+
+        Counters/gauges carry ``value``; histograms carry their bucket
+        state plus precomputed mean/p50/p95/p99/max so report code can
+        format them without re-deriving.
+        """
+        out: dict = {}
+        for name in self.names():
+            kind, _, series = self._metrics[name]
+            rendered = []
+            for key in sorted(series):
+                instrument = series[key]
+                row: dict = {"labels": dict(key)}
+                if isinstance(instrument, Histogram):
+                    row.update(
+                        count=instrument.count,
+                        sum=instrument.total,
+                        mean=instrument.mean,
+                        p50=instrument.percentile(50.0),
+                        p95=instrument.percentile(95.0),
+                        p99=instrument.percentile(99.0),
+                        max=instrument.maximum if instrument.count else 0.0,
+                        bounds=list(instrument.bounds),
+                        buckets=list(instrument.bucket_counts),
+                    )
+                else:
+                    row["value"] = instrument.value
+                rendered.append(row)
+            out[name] = {"type": kind, "series": rendered}
+        return out
+
+    def render_flat(self) -> dict[str, float]:
+        """Flat ``name{label=value}`` -> scalar view (histograms: count)."""
+        flat: dict[str, float] = {}
+        for name in self.names():
+            _, _, series = self._metrics[name]
+            for key in sorted(series):
+                instrument = series[key]
+                if isinstance(instrument, Histogram):
+                    flat[format_series(name + ".count", key)] = float(instrument.count)
+                    flat[format_series(name + ".sum", key)] = instrument.total
+                else:
+                    flat[format_series(name, key)] = instrument.value
+        return flat

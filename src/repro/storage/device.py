@@ -161,6 +161,25 @@ class DeviceStats:
         return self.bytes_written_foreground + self.bytes_written_background
 
 
+class _DeviceObs:
+    """Registry handles one bound device increments on every access."""
+
+    __slots__ = (
+        "read_fg", "read_bg", "write_fg", "write_bg",
+        "reads", "writes", "busy", "queue_penalty",
+    )
+
+    def __init__(self, registry, tier: str) -> None:
+        self.read_fg = registry.counter("device.read_bytes", tier=tier, mode="foreground")
+        self.read_bg = registry.counter("device.read_bytes", tier=tier, mode="background")
+        self.write_fg = registry.counter("device.write_bytes", tier=tier, mode="foreground")
+        self.write_bg = registry.counter("device.write_bytes", tier=tier, mode="background")
+        self.reads = registry.counter("device.reads", tier=tier)
+        self.writes = registry.counter("device.writes", tier=tier)
+        self.busy = registry.counter("device.busy_usec", tier=tier)
+        self.queue_penalty = registry.histogram("device.queue_penalty_usec", tier=tier)
+
+
 class Device:
     """A device instance: a spec plus capacity, wear and a backlog queue.
 
@@ -193,6 +212,18 @@ class Device:
         self._max_penalty_usec = max_penalty_usec
         self._backlog_bytes = 0.0
         self._last_drain_usec = clock.now
+        self._obs: _DeviceObs | None = None
+
+    def bind_observability(self, registry, *, tier: str) -> None:
+        """Mirror all I/O accounting into ``registry`` under ``tier``.
+
+        Called by the owning database once the device's tier name is
+        known; re-binding (e.g. on :meth:`LsmDB.reopen`) points the
+        device at the new instance's registry, whose counters start at
+        zero — registry totals are per-database-instance, while
+        :attr:`stats` is cumulative for the device's lifetime.
+        """
+        self._obs = _DeviceObs(registry, tier)
 
     # ------------------------------------------------------------------
     # Background backlog
@@ -231,9 +262,11 @@ class Device:
             raise ValueError(f"negative read size: {n_bytes}")
         self.stats.reads += 1
         base = self.spec.read_time_usec(n_bytes)
+        penalty = 0.0
         if foreground:
             self.stats.bytes_read_foreground += n_bytes
-            latency = base + self.queue_penalty_usec()
+            penalty = self.queue_penalty_usec()
+            latency = base + penalty
         else:
             self.stats.bytes_read_background += n_bytes
             # Background reads contend like background writes do: they
@@ -243,6 +276,15 @@ class Device:
             self._backlog_bytes += n_bytes * 0.5
             latency = base
         self.stats.busy_usec += base
+        if self._obs is not None:
+            obs = self._obs
+            obs.reads.inc()
+            obs.busy.inc(base)
+            if foreground:
+                obs.read_fg.inc(n_bytes)
+                obs.queue_penalty.observe(penalty)
+            else:
+                obs.read_bg.inc(n_bytes)
         return latency
 
     def write(self, n_bytes: int, *, foreground: bool = True) -> float:
@@ -257,9 +299,17 @@ class Device:
         self.stats.writes += 1
         base = self.spec.write_time_usec(n_bytes)
         self.stats.busy_usec += base
+        if self._obs is not None:
+            obs = self._obs
+            obs.writes.inc()
+            obs.busy.inc(base)
+            (obs.write_fg if foreground else obs.write_bg).inc(n_bytes)
         if foreground:
+            penalty = self.queue_penalty_usec()
+            if self._obs is not None:
+                self._obs.queue_penalty.observe(penalty)
             self.stats.bytes_written_foreground += n_bytes
-            return base + self.queue_penalty_usec()
+            return base + penalty
         self.stats.bytes_written_background += n_bytes
         self._drain_backlog()
         self._backlog_bytes += n_bytes

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common import CounterSet, LatencyRecorder, throughput_kops
+from repro.common import CounterSet, LatencyRecorder, nearest_rank, throughput_kops
 
 
 class TestLatencyRecorder:
@@ -53,6 +53,45 @@ class TestLatencyRecorder:
         rec.record(1.0)
         rec.record(2.0)
         assert len(rec) == 2
+
+    def test_two_samples_nearest_rank(self):
+        # Nearest-rank is ceil(p/100*n): rank 1 for p50 of two samples,
+        # and any pct above 50 already needs the second sample.
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        rec.record(2.0)
+        assert rec.percentile(50.0) == 1.0
+        assert rec.percentile(50.1) == 2.0
+        assert rec.percentile(99.0) == 2.0
+        summary = rec.summary()
+        assert summary.p50 == 1.0
+        assert summary.p95 == 2.0
+
+    def test_three_samples_nearest_rank(self):
+        rec = LatencyRecorder()
+        for v in (30.0, 10.0, 20.0):
+            rec.record(v)
+        # ceil(0.5*3)=2 -> the middle sample; ceil(0.95*3)=3 -> the max.
+        assert rec.percentile(50.0) == 20.0
+        assert rec.percentile(95.0) == 30.0
+        assert rec.percentile(0.0) == 10.0
+        assert rec.percentile(100.0) == 30.0
+
+    def test_nearest_rank_function(self):
+        assert nearest_rank([5.0], 50.0) == 5.0
+        assert nearest_rank([1.0, 2.0], 50.0) == 1.0
+        assert nearest_rank([1.0, 2.0, 3.0], 50.0) == 2.0
+        # Percentile 0 clamps to rank 1, not rank 0.
+        assert nearest_rank([1.0, 2.0, 3.0], 0.0) == 1.0
+
+    def test_median_of_five_is_the_middle_sample(self):
+        # Regression: the round()-based rank used banker's rounding, so
+        # p50 of five samples hit round(2.5)=2 -> the *second* sample
+        # instead of the median. ceil(2.5)=3 picks the true middle.
+        rec = LatencyRecorder()
+        for v in (10.0, 20.0, 30.0, 40.0, 50.0):
+            rec.record(v)
+        assert rec.percentile(50.0) == 30.0
 
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
     def test_summary_invariants(self, samples):

@@ -1,0 +1,200 @@
+"""Tests for the metrics registry: instruments, guards, snapshots."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    format_series,
+    label_key,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("db.reads", source="memtable")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("db.reads", source="memtable") == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("device.reads", tier="nvm")
+        b = registry.counter("device.reads", tier="nvm")
+        assert a is b
+        assert registry.counter("device.reads", tier="tlc") is not a
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("tracker.occupancy")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc(1)
+        assert gauge.value == 8
+
+    def test_missing_series_value_is_zero(self):
+        assert MetricsRegistry().value("nope", tier="x") == 0.0
+
+
+class TestGuards:
+    def test_type_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("db.reads")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("db.reads")
+
+    def test_label_name_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("device.reads", tier="nvm")
+        with pytest.raises(ObservabilityError):
+            registry.counter("device.reads", level=3)
+
+    def test_label_cardinality_guard(self):
+        registry = MetricsRegistry(max_series_per_metric=4)
+        for i in range(4):
+            registry.counter("db.reads", source=f"L{i}")
+        with pytest.raises(ObservabilityError):
+            registry.counter("db.reads", source="one-too-many")
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        for bad in ("Caps.name", "1leading", "trailing.", "sp ace", ""):
+            with pytest.raises(ObservabilityError):
+                registry.counter(bad)
+
+
+class TestBuckets:
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 4)
+
+    def test_default_buckets_cover_device_latencies(self):
+        # 1 us .. 2^26 us (~67 s): everything the device models produce.
+        assert DEFAULT_LATENCY_BUCKETS[0] == 1.0
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 2.0**26
+        assert len(DEFAULT_LATENCY_BUCKETS) == 27
+
+    def test_boundary_values_are_inclusive_upper_edges(self):
+        hist = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.0, 1.0):  # both land in bucket 0 (<= 1.0)
+            hist.observe(value)
+        hist.observe(1.5)  # bucket 1 (<= 2.0)
+        hist.observe(2.0)  # bucket 1, inclusive upper edge
+        hist.observe(4.0)  # bucket 2
+        hist.observe(100.0)  # overflow bucket
+        assert hist.bucket_counts == [2, 2, 1, 1]
+        assert hist.count == 6
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.percentile(50.0) == 0.0
+        assert hist.mean == 0.0
+        assert hist.summary().count == 0
+
+    def test_percentile_reports_bucket_upper_bound(self):
+        hist = Histogram(bounds=(10.0, 100.0, 1000.0))
+        for _ in range(99):
+            hist.observe(5.0)
+        hist.observe(500.0)
+        assert hist.percentile(50.0) == 10.0
+        # The one large sample sits in the (100, 1000] bucket; its upper
+        # bound clamps to the observed max.
+        assert hist.percentile(100.0) == 500.0
+
+    def test_overflow_bucket_reports_maximum(self):
+        hist = Histogram(bounds=(1.0,))
+        hist.observe(123.0)
+        assert hist.percentile(99.0) == 123.0
+        assert hist.maximum == 123.0
+
+    def test_rejects_bad_input(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.observe(-1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e7), min_size=1, max_size=100))
+    def test_percentile_invariants(self, samples):
+        hist = Histogram()
+        for s in samples:
+            hist.observe(s)
+        p50, p99 = hist.percentile(50.0), hist.percentile(99.0)
+        assert p50 <= p99 <= max(samples)
+        assert hist.percentile(100.0) == max(samples)
+        # Bucketed estimates are upper bounds accurate to one bucket:
+        # the true nearest-rank value never exceeds the estimate.
+        assert p50 >= min(samples) or p50 == pytest.approx(min(samples))
+
+
+class TestRegistryViews:
+    def test_total_with_label_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("device.write_bytes", tier="nvm", mode="foreground").inc(10)
+        registry.counter("device.write_bytes", tier="nvm", mode="background").inc(5)
+        registry.counter("device.write_bytes", tier="tlc", mode="background").inc(7)
+        assert registry.total("device.write_bytes") == 22
+        assert registry.total("device.write_bytes", tier="nvm") == 15
+        assert registry.total("device.write_bytes", mode="background") == 12
+        assert registry.total("no.such.metric") == 0.0
+
+    def test_total_counts_histogram_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("op.latency_usec", op="read")
+        hist.observe(1.0)
+        hist.observe(2.0)
+        assert registry.total("op.latency_usec") == 2
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("db.reads", source="L0").inc(3)
+        registry.gauge("tracker.occupancy").set(7)
+        registry.histogram("op.latency_usec", op="read").observe(12.0)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["db.reads"]["type"] == "counter"
+        assert snapshot["db.reads"]["series"][0] == {
+            "labels": {"source": "L0"},
+            "value": 3.0,
+        }
+        hist_row = snapshot["op.latency_usec"]["series"][0]
+        assert hist_row["count"] == 1
+        assert hist_row["p50"] == 12.0  # clamped to the observed max
+        assert sum(hist_row["buckets"]) == 1
+
+    def test_render_flat(self):
+        registry = MetricsRegistry()
+        registry.counter("db.reads", source="L0").inc(3)
+        registry.histogram("op.latency_usec", op="read").observe(4.0)
+        flat = registry.render_flat()
+        assert flat["db.reads{source=L0}"] == 3.0
+        assert flat["op.latency_usec.count{op=read}"] == 1.0
+        assert flat["op.latency_usec.sum{op=read}"] == 4.0
+
+    def test_format_series_and_label_key(self):
+        key = label_key({"tier": "nvm", "level": 2})
+        assert key == (("level", "2"), ("tier", "nvm"))
+        assert format_series("device.reads", key) == "device.reads{level=2,tier=nvm}"
+        assert format_series("db.writes", ()) == "db.writes"

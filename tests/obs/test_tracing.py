@@ -1,0 +1,169 @@
+"""Tests for the span/instant tracer and its JSONL serialization."""
+
+import json
+
+import pytest
+
+from repro.common import KIB
+from repro.common.clock import SimClock
+from repro.lsm import DBOptions, LsmDB
+from repro.obs import NOOP_TRACER, Tracer, jsonl_to_chrome_json, read_jsonl
+
+
+class TestNoopMode:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(SimClock(), enabled=False)
+        with tracer.span("compaction", tier="tlc"):
+            pass
+        tracer.instant("trivial_move", level=1)
+        assert tracer.events == []
+
+    def test_disabled_span_is_the_shared_singleton(self):
+        # The no-op path must not allocate per call: every disabled
+        # span() returns the same object.
+        tracer = Tracer(SimClock(), enabled=False)
+        a = tracer.span("x")
+        b = tracer.span("y", tier="nvm")
+        assert a is b
+        a.set_duration(5.0)  # harmless no-op
+
+    def test_global_noop_tracer(self):
+        with NOOP_TRACER.span("anything"):
+            pass
+        assert NOOP_TRACER.events == []
+        assert not NOOP_TRACER.enabled
+
+    def test_enabled_tracer_needs_clock(self):
+        with pytest.raises(ValueError):
+            Tracer(None, enabled=True)
+        tracer = Tracer(None, enabled=False)
+        with pytest.raises(ValueError):
+            tracer.enable()
+
+
+class TestRecording:
+    def test_span_records_simulated_interval(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("flush", tier="nvm"):
+            clock.advance(125.0)
+        (event,) = tracer.events
+        assert event["name"] == "flush"
+        assert event["ph"] == "X"
+        assert event["dur"] == pytest.approx(125.0)
+        assert event["args"] == {"tier": "nvm"}
+
+    def test_set_duration_overrides_clock_delta(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("compaction") as span:
+            span.set_duration(999.0)  # background work: clock is still
+        assert tracer.events[0]["dur"] == pytest.approx(999.0)
+
+    def test_instant_event(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        tracer = Tracer(clock)
+        tracer.instant("trivial_move", level=1, bytes=2048)
+        (event,) = tracer.events
+        assert event["ph"] == "i"
+        assert event["ts"] == pytest.approx(10.0)
+        assert event["args"] == {"level": "1", "bytes": "2048"}
+
+    def test_sampling_keeps_every_nth_span(self):
+        clock = SimClock()
+        tracer = Tracer(clock, sample_every=3)
+        for _ in range(9):
+            with tracer.span("op"):
+                clock.advance(1.0)
+        assert len(tracer.events) == 3
+
+    def test_max_events_bounds_memory(self):
+        clock = SimClock()
+        tracer = Tracer(clock, max_events=2)
+        for _ in range(5):
+            with tracer.span("op"):
+                pass
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 3
+
+    def test_clear_resets_state(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("op"):
+            pass
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.dropped_events == 0
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self, tmp_path):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("flush", tier="nvm"):
+            clock.advance(3.0)
+        tracer.instant("trivial_move", level=1)
+        path = str(tmp_path / "trace.jsonl")
+        assert tracer.write_jsonl(path) == 2
+        assert read_jsonl(path) == tracer.events
+
+    def test_chrome_json_envelope(self, tmp_path):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("op"):
+            clock.advance(1.0)
+        jsonl = str(tmp_path / "t.jsonl")
+        chrome = str(tmp_path / "t.json")
+        tracer.write_jsonl(jsonl)
+        assert jsonl_to_chrome_json(jsonl, chrome) == 1
+        with open(chrome) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"] == tracer.events
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestGoldenDbTrace:
+    """A tiny put/get/compact sequence yields a stable, valid trace."""
+
+    def make_db(self):
+        options = DBOptions(
+            memtable_bytes=2 * KIB,
+            target_file_bytes=2 * KIB,
+            level1_target_bytes=4 * KIB,
+            level_size_multiplier=4,
+            block_bytes=512,
+            block_cache_bytes=16 * KIB,
+        )
+        db = LsmDB.create("NNNTQ", options)
+        db.tracer.enable()
+        return db
+
+    def test_flush_and_compaction_spans(self):
+        db = self.make_db()
+        for i in range(300):
+            db.put(f"key{i:05d}".encode(), b"x" * 64)
+        for i in range(0, 300, 50):
+            db.get(f"key{i:05d}".encode())
+        names = {event["name"] for event in db.tracer.events}
+        assert "flush" in names
+        assert "compaction" in names or "trivial_move" in names
+        # Every event is schema-complete and JSONL-serializable.
+        for event in db.tracer.events:
+            assert event["ph"] in ("X", "i")
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0.0
+            assert isinstance(event["args"], dict)
+            json.dumps(event)
+        flushes = [e for e in db.tracer.events if e["name"] == "flush"]
+        assert all(event["dur"] > 0.0 for event in flushes), (
+            "flush spans must carry the modeled device busy time"
+        )
+
+    def test_trace_is_deterministic(self):
+        first = self.make_db()
+        second = self.make_db()
+        for db in (first, second):
+            for i in range(200):
+                db.put(f"key{i:05d}".encode(), b"x" * 64)
+        assert first.tracer.events == second.tracer.events
