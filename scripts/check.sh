@@ -24,3 +24,12 @@ fi
 
 echo "== unit tests (-m 'not bench') =="
 python -m pytest -m "not bench" "$@"
+
+# Opt-in perf gate: smoke-runs every system, appends a trajectory point
+# to BENCH_SMOKE.json, and fails on regressions beyond tolerance vs the
+# committed baselines. Enable with REPRO_PERF_GATE=1; tune the allowed
+# drift with REPRO_PERF_TOLERANCE (percent, default 15).
+if [[ "${REPRO_PERF_GATE:-0}" != "0" ]]; then
+    echo "== perf gate (REPRO_PERF_GATE=${REPRO_PERF_GATE}) =="
+    python scripts/perf_gate.py --tolerance "${REPRO_PERF_TOLERANCE:-15}"
+fi

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Opt-in perf gate: smoke-run every system, persist artifacts, diff.
+
+Invoked from ``scripts/check.sh`` when ``REPRO_PERF_GATE`` is set (any
+value but ``0``). For each system (rocksdb / prismdb / mutant) it runs a
+small seeded YCSB-A workload with timeline sampling on, then:
+
+1. writes the full run artifact to
+   ``benchmarks/results/smoke_<system>.json``;
+2. appends one trajectory point (throughput, read p99, write amp per
+   system) to the top-level ``BENCH_SMOKE.json``;
+3. if a committed baseline ``benchmarks/results/baseline_<system>.json``
+   exists, compares against it with ``--tolerance`` (default 15%) and
+   exits 1 on any regression. A missing baseline is created from the
+   current run (first adoption) and the gate passes.
+
+The simulation is deterministic, so identical code produces identical
+artifacts; drift within tolerance is an intentional perf-relevant code
+change that should be accompanied by refreshing the baselines
+(``--rebaseline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.compare import compare_results, comparison_table, regressions  # noqa: E402
+from repro.bench.harness import RunResult, SystemConfig, run_experiment  # noqa: E402
+from repro.bench.reporting import format_experiment  # noqa: E402
+from repro.workloads.ycsb import YCSBConfig  # noqa: E402
+
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+SMOKE_FILE = os.path.join(REPO_ROOT, "BENCH_SMOKE.json")
+SYSTEMS = ("rocksdb", "prismdb", "mutant")
+
+
+def smoke_run(system: str, *, records: int, ops: int, seed: int) -> RunResult:
+    config = SystemConfig(system=system, layout_code="NNNTQ", seed=seed)
+    workload = YCSBConfig.read_update(
+        50, record_count=records, operation_count=ops, seed=seed
+    )
+    return run_experiment(
+        config, workload, label=f"smoke/{system}", sample_interval_ms=5.0
+    )
+
+
+def git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def append_trajectory_point(results: dict[str, RunResult]) -> None:
+    """Append one per-PR trajectory point to BENCH_SMOKE.json."""
+    history: dict = {"schema": 1, "points": []}
+    if os.path.exists(SMOKE_FILE):
+        try:
+            with open(SMOKE_FILE, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, dict) and isinstance(loaded.get("points"), list):
+                history = loaded
+        except (OSError, json.JSONDecodeError):
+            pass  # corrupt history: start over rather than fail the gate
+    point = {
+        "commit": git_commit(),
+        "unix_time": int(time.time()),
+        "systems": {
+            system: {
+                "throughput_kops": result.throughput_kops,
+                "read_p99_usec": result.read_latency.p99,
+                "update_p99_usec": result.update_latency.p99,
+                "write_amplification": result.write_amplification,
+            }
+            for system, result in results.items()
+        },
+    }
+    history["points"].append(point)
+    with open(SMOKE_FILE, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=15.0,
+                        help="allowed bad-direction drift in %% (default: 15)")
+    parser.add_argument("--records", type=int, default=3_000)
+    parser.add_argument("--ops", type=int, default=5_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="overwrite the committed baselines with this run")
+    args = parser.parse_args(argv)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    results: dict[str, RunResult] = {}
+    failed = False
+    for system in SYSTEMS:
+        result = smoke_run(
+            system, records=args.records, ops=args.ops, seed=args.seed
+        )
+        results[system] = result
+        smoke_path = os.path.join(RESULTS_DIR, f"smoke_{system}.json")
+        result.save(smoke_path)
+        baseline_path = os.path.join(RESULTS_DIR, f"baseline_{system}.json")
+        if args.rebaseline or not os.path.exists(baseline_path):
+            shutil.copyfile(smoke_path, baseline_path)
+            print(f"[perf-gate] {system}: baseline written to {baseline_path}")
+            continue
+        baseline = RunResult.load(baseline_path)
+        diffs = compare_results(baseline, result, tolerance_pct=args.tolerance)
+        bad = regressions(diffs)
+        if bad:
+            failed = True
+            headers, rows = comparison_table(diffs, only_drift=True)
+            print(
+                format_experiment(
+                    f"[perf-gate] {system}: REGRESSION vs {baseline_path}",
+                    headers,
+                    rows,
+                    notes=f"{len(bad)} metric(s) beyond {args.tolerance:g}% tolerance",
+                )
+            )
+        else:
+            print(
+                f"[perf-gate] {system}: ok "
+                f"({result.throughput_kops:.1f} kops, "
+                f"read p99 {result.read_latency.p99:.1f} us, "
+                f"WA {result.write_amplification:.2f})"
+            )
+    append_trajectory_point(results)
+    print(f"[perf-gate] trajectory point appended to {SMOKE_FILE}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

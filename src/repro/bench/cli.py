@@ -1,20 +1,35 @@
-"""Command-line entry point: regenerate paper artifacts.
+"""Command-line entry point: experiments, reports, timelines, comparisons.
 
 Usage::
 
-    python -m repro.bench list
-    python -m repro.bench table1 fig4 table3        # analytic, fast
-    python -m repro.bench fig9a                     # runs simulations
+    python -m repro.bench list                      # catalogue + subcommands
+    python -m repro.bench run table1 fig4 table3    # analytic, fast
+    python -m repro.bench fig9a                     # legacy form still works
     python -m repro.bench report --metrics          # registry-driven report
-    REPRO_BENCH_SCALE=quick python -m repro.bench all
+    python -m repro.bench report --save run.json    # persist a run artifact
+    python -m repro.bench timeline --series throughput_kops
+    python -m repro.bench compare a.json b.json --tolerance 5
+    REPRO_BENCH_SCALE=quick python -m repro.bench run all
+
+Exit codes: 0 on success, 1 when ``compare`` finds a regression beyond
+tolerance, 2 on usage errors / unknown experiments.
+
+Installed as the ``repro-bench`` console script (see pyproject.toml).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.bench import experiments as exp
-from repro.bench.reporting import format_experiment
+from repro.bench.reporting import (
+    format_experiment,
+    render_timeline_sparklines,
+    render_timeline_table,
+    timeline_to_csv,
+)
 
 #: name -> (title, callable, needs_runner)
 EXPERIMENTS = {
@@ -41,23 +56,44 @@ EXPERIMENTS = {
     "ext-scan-workload": ("Extension: scan-heavy workload", exp.ext_scan_workload, True),
 }
 
+#: Default series plotted by ``timeline`` when --series is not given.
+DEFAULT_TIMELINE_SERIES = (
+    "throughput_kops",
+    "read_p99_usec",
+    "cache.hit_rate",
+    "memtable.bytes",
+    "l0.files",
+)
 
-def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    if args and args[0] == "report":
-        from repro.bench.report import main as report_main
+SUBCOMMANDS = ("run", "report", "timeline", "compare", "list")
 
-        return report_main(args[1:])
-    if not args or args == ["list"] or "-h" in args or "--help" in args:
-        print(__doc__)
-        print("Available experiments:")
-        for name, (title, _, needs_runner) in EXPERIMENTS.items():
-            kind = "simulation" if needs_runner else "analytic"
-            print(f"  {name:22s} {title} [{kind}]")
-        print("  report                 Registry-driven run report"
-              " (see --help) [simulation]")
+
+def _print_listing() -> None:
+    print(__doc__)
+    print("Available experiments:")
+    for name, (title, _, needs_runner) in EXPERIMENTS.items():
+        kind = "simulation" if needs_runner else "analytic"
+        print(f"  {name:22s} {title} [{kind}]")
+    print("  report                 Registry-driven run report"
+          " (see --help) [simulation]")
+    print("  timeline               Time-series view of one run"
+          " (see --help) [simulation]")
+    print("  compare                Regression-gated diff of two run artifacts")
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers
+# ----------------------------------------------------------------------
+def _cmd_list(_args: argparse.Namespace) -> int:
+    _print_listing()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if not args.names:
+        _print_listing()
         return 0
-    names = list(EXPERIMENTS) if args == ["all"] else args
+    names = list(EXPERIMENTS) if args.names == ["all"] else args.names
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
@@ -68,6 +104,186 @@ def main(argv: list[str] | None = None) -> int:
         headers, rows = func(runner) if needs_runner else func()
         print(format_experiment(title, headers, rows))
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import run_report
+
+    return run_report(args)
+
+
+def _timeline_from_args(args: argparse.Namespace) -> dict:
+    """Load a saved artifact's timeline or run a fresh sampled workload."""
+    if args.artifact:
+        from repro.bench.harness import RunResult
+
+        result = RunResult.load(args.artifact)
+        if not result.timeline:
+            raise ValueError(
+                f"artifact {args.artifact} has no timeline; re-run with "
+                f"`report --save --sample-interval-ms N`"
+            )
+        return result.timeline
+    from repro.bench.harness import SystemConfig, WorkloadRunner, build_system
+    from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+    workload_config = YCSBConfig.read_update(
+        args.read_pct,
+        record_count=args.records,
+        operation_count=args.ops,
+        seed=args.seed,
+    )
+    system_config = SystemConfig(
+        system=args.system, layout_code=args.layout, seed=args.seed
+    )
+    workload = YCSBWorkload(workload_config)
+    db = build_system(system_config, workload)
+    runner = WorkloadRunner(
+        db,
+        clients=system_config.clients,
+        sample_interval_ms=args.interval_ms,
+        timeline_capacity=args.buffer,
+    )
+    runner.load(workload)
+    elapsed = runner.run(workload)
+    result = runner.result(
+        f"{args.system}/{args.layout}", system_config, elapsed
+    )
+    if args.save:
+        result.save(args.save)
+        print(f"saved run artifact to {args.save}", file=sys.stderr)
+    return result.timeline
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    timeline = _timeline_from_args(args)
+    available = sorted(timeline.get("series", {}))
+    if args.list_series:
+        for name in available:
+            print(name)
+        return 0
+    names = args.series or [
+        name for name in DEFAULT_TIMELINE_SERIES if name in timeline["series"]
+    ]
+    unknown = [name for name in names if name not in timeline.get("series", {})]
+    if unknown:
+        print(
+            f"unknown series: {', '.join(unknown)}\n"
+            f"available: {', '.join(available)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.format == "sparkline":
+        rendered = render_timeline_sparklines(timeline, names)
+    elif args.format == "table":
+        rendered = render_timeline_table(timeline, names)
+    elif args.format == "csv":
+        rendered = timeline_to_csv(timeline, names)
+    else:  # json
+        rendered = json.dumps(timeline, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"wrote {args.format} timeline to {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.compare import run_compare
+
+    return run_compare(args)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    from repro.bench.compare import add_compare_arguments
+    from repro.bench.report import add_report_arguments, add_workload_arguments
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate paper artifacts and inspect runs.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    run_p = sub.add_parser(
+        "run", help="run experiments by name ('all' for every one)"
+    )
+    run_p.add_argument("names", nargs="*", metavar="EXPERIMENT",
+                       help="experiment names (see `list`); 'all' runs everything")
+    run_p.set_defaults(func=_cmd_run)
+
+    list_p = sub.add_parser("list", help="list experiments and subcommands")
+    list_p.set_defaults(func=_cmd_list)
+
+    report_p = sub.add_parser(
+        "report", help="run one workload and report from the metrics registry"
+    )
+    add_report_arguments(report_p)
+    report_p.set_defaults(func=_cmd_report)
+
+    timeline_p = sub.add_parser(
+        "timeline",
+        help="sample a run's registry into time series and render them",
+    )
+    add_workload_arguments(timeline_p)
+    timeline_p.add_argument("--artifact", metavar="FILE", default=None,
+                            help="render a saved run artifact instead of running")
+    timeline_p.add_argument("--series", action="append", metavar="NAME",
+                            help="series to render (repeatable; default: a "
+                                 "standard set)")
+    timeline_p.add_argument("--list-series", action="store_true",
+                            help="print available series names and exit")
+    timeline_p.add_argument("--format", default="sparkline",
+                            choices=("sparkline", "table", "csv", "json"))
+    timeline_p.add_argument("--interval-ms", type=float, default=10.0,
+                            help="sampling interval in simulated ms (default: 10)")
+    timeline_p.add_argument("--buffer", type=int, default=4096,
+                            help="ring-buffer capacity in samples (default: 4096)")
+    timeline_p.add_argument("--out", metavar="FILE", default=None,
+                            help="write the rendering here instead of stdout")
+    timeline_p.add_argument("--save", metavar="FILE", default=None,
+                            help="also persist the fresh run as a JSON artifact")
+    timeline_p.set_defaults(func=_cmd_timeline)
+
+    compare_p = sub.add_parser(
+        "compare",
+        help="diff two run artifacts; exit 1 on regression beyond tolerance",
+    )
+    add_compare_arguments(compare_p)
+    compare_p.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        _print_listing()
+        return 0
+    # Legacy invocation forms: bare experiment names (and "all") predate
+    # the subcommands and must keep working.
+    if args[0] not in SUBCOMMANDS and not args[0].startswith("-"):
+        args = ["run"] + args
+    parser = build_parser()
+    try:
+        namespace = parser.parse_args(args)
+    except SystemExit as exc:  # argparse exits on --help (0) and usage (2)
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    if getattr(namespace, "func", None) is None:
+        _print_listing()
+        return 0
+    from repro.errors import ReproError
+
+    try:
+        return namespace.func(namespace)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -558,7 +558,7 @@ def ext_scan_workload(runner: ExperimentRunner | None = None):
     completeness of the YCSB substrate.
     """
     runner = runner or shared_runner()
-    headers = ["system", "kops", "avg op (us)", "p99 op (us)"]
+    headers = ["system", "kops", "avg scan (us)", "p99 scan (us)"]
     rows = []
     scale = runner.scale
     for system in ("rocksdb", "prismdb"):
@@ -587,8 +587,8 @@ def ext_scan_workload(runner: ExperimentRunner | None = None):
         elapsed = harness.run(workload)
         result = harness.result(system, config, elapsed)
         rows.append(
-            [system, fmt(result.throughput_kops), fmt(result.read_latency.mean),
-             fmt(result.read_latency.p99)]
+            [system, fmt(result.throughput_kops), fmt(result.scan_latency.mean),
+             fmt(result.scan_latency.p99)]
         )
     return headers, rows
 

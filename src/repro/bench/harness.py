@@ -11,6 +11,8 @@ queueing penalty, exactly as contention does on real hardware.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 
 from repro.baselines.mutant import MutantDB, MutantOptions
@@ -23,6 +25,7 @@ from repro.lsm.block_cache import BlockType
 from repro.lsm.db import LsmDB
 from repro.lsm.layout import build_layout
 from repro.lsm.options import DBOptions, options_for_db_size
+from repro.obs.timeline import TimelineSampler
 from repro.storage.endurance import device_lifetime_seconds
 from repro.workloads.ycsb import OpKind, YCSBConfig, YCSBWorkload
 
@@ -100,6 +103,10 @@ class RunResult:
     throughput_kops: float
     read_latency: LatencySummary
     update_latency: LatencySummary
+    #: Range scans get their own population: folding them into
+    #: ``read_latency`` skewed the Fig. 10 point-read percentiles on
+    #: scan-heavy workloads.
+    scan_latency: LatencySummary = field(default_factory=LatencySummary.empty)
     reads_by_source: dict[str, int] = field(default_factory=dict)
     read_latency_by_source: dict[str, LatencySummary] = field(default_factory=dict)
     cache_hit_rate: float = 0.0
@@ -127,6 +134,9 @@ class RunResult:
     #: JSON-safe snapshot of the run's :class:`~repro.obs.MetricsRegistry`
     #: (every counter/gauge/histogram series; see docs/OBSERVABILITY.md).
     metrics: dict = field(default_factory=dict)
+    #: JSON-safe :meth:`~repro.obs.TimelineSampler.to_dict` export when
+    #: the run sampled a timeline; empty dict otherwise.
+    timeline: dict = field(default_factory=dict)
 
     @property
     def total_io_read_bytes(self) -> int:
@@ -136,17 +146,173 @@ class RunResult:
     def total_io_write_bytes(self) -> int:
         return sum(self.device_write_bytes.values())
 
+    # ------------------------------------------------------------------
+    # Persistence: whole runs as JSON artifacts
+    # ------------------------------------------------------------------
+    #: Artifact schema version; bump on incompatible layout changes.
+    SCHEMA = 1
+
+    def to_json(self) -> dict:
+        """A strictly JSON-safe dict that round-trips via :meth:`from_json`.
+
+        ``inf`` (the lifetime-years of a tier that saw no writes) is not
+        valid JSON, so it is encoded as the string ``"inf"``; integer
+        dict keys (per-level bytes) become strings and are restored on
+        load.
+        """
+
+        def summary(s: LatencySummary) -> dict:
+            return {
+                "count": s.count,
+                "mean": s.mean,
+                "p50": s.p50,
+                "p95": s.p95,
+                "p99": s.p99,
+                "maximum": s.maximum,
+            }
+
+        return {
+            "schema": self.SCHEMA,
+            "label": self.label,
+            "system": self.system,
+            "layout_code": self.layout_code,
+            "operations": self.operations,
+            "elapsed_usec": self.elapsed_usec,
+            "throughput_kops": self.throughput_kops,
+            "read_latency": summary(self.read_latency),
+            "update_latency": summary(self.update_latency),
+            "scan_latency": summary(self.scan_latency),
+            "reads_by_source": dict(self.reads_by_source),
+            "read_latency_by_source": {
+                source: summary(s)
+                for source, s in self.read_latency_by_source.items()
+            },
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_hit_rate_data": self.cache_hit_rate_data,
+            "compactions": self.compactions,
+            "compaction_read_bytes": self.compaction_read_bytes,
+            "compaction_write_bytes": self.compaction_write_bytes,
+            "flush_bytes": self.flush_bytes,
+            "wal_bytes": self.wal_bytes,
+            "user_write_bytes": self.user_write_bytes,
+            "write_amplification": self.write_amplification,
+            "per_level_write_bytes": {
+                str(level): count
+                for level, count in self.per_level_write_bytes.items()
+            },
+            "pinned_records": self.pinned_records,
+            "pulled_up_records": self.pulled_up_records,
+            "migrations": self.migrations,
+            "migration_bytes": self.migration_bytes,
+            "device_read_bytes": dict(self.device_read_bytes),
+            "device_write_bytes": dict(self.device_write_bytes),
+            "device_wear_cycles": dict(self.device_wear_cycles),
+            "device_lifetime_years": {
+                tier: "inf" if math.isinf(years) else years
+                for tier, years in self.device_lifetime_years.items()
+            },
+            "storage_cost_dollars": self.storage_cost_dollars,
+            "metrics": self.metrics,
+            "timeline": self.timeline,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_json` output."""
+        schema = data.get("schema")
+        if schema != cls.SCHEMA:
+            raise ConfigError(
+                f"unsupported run-artifact schema {schema!r} "
+                f"(this build reads schema {cls.SCHEMA})"
+            )
+
+        def summary(d: dict) -> LatencySummary:
+            return LatencySummary(
+                count=d["count"],
+                mean=d["mean"],
+                p50=d["p50"],
+                p95=d["p95"],
+                p99=d["p99"],
+                maximum=d["maximum"],
+            )
+
+        return cls(
+            label=data["label"],
+            system=data["system"],
+            layout_code=data["layout_code"],
+            operations=data["operations"],
+            elapsed_usec=data["elapsed_usec"],
+            throughput_kops=data["throughput_kops"],
+            read_latency=summary(data["read_latency"]),
+            update_latency=summary(data["update_latency"]),
+            scan_latency=summary(data["scan_latency"]),
+            reads_by_source=dict(data["reads_by_source"]),
+            read_latency_by_source={
+                source: summary(d)
+                for source, d in data["read_latency_by_source"].items()
+            },
+            cache_hit_rate=data["cache_hit_rate"],
+            cache_hit_rate_data=data["cache_hit_rate_data"],
+            compactions=data["compactions"],
+            compaction_read_bytes=data["compaction_read_bytes"],
+            compaction_write_bytes=data["compaction_write_bytes"],
+            flush_bytes=data["flush_bytes"],
+            wal_bytes=data["wal_bytes"],
+            user_write_bytes=data["user_write_bytes"],
+            write_amplification=data["write_amplification"],
+            per_level_write_bytes={
+                int(level): count
+                for level, count in data["per_level_write_bytes"].items()
+            },
+            pinned_records=data["pinned_records"],
+            pulled_up_records=data["pulled_up_records"],
+            migrations=data["migrations"],
+            migration_bytes=data["migration_bytes"],
+            device_read_bytes=dict(data["device_read_bytes"]),
+            device_write_bytes=dict(data["device_write_bytes"]),
+            device_wear_cycles=dict(data["device_wear_cycles"]),
+            device_lifetime_years={
+                tier: float("inf") if years == "inf" else years
+                for tier, years in data["device_lifetime_years"].items()
+            },
+            storage_cost_dollars=data["storage_cost_dollars"],
+            metrics=data["metrics"],
+            timeline=data.get("timeline", {}),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the artifact as JSON (strict: no NaN/Infinity literals)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True, allow_nan=False)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RunResult":
+        """Read an artifact previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
 
 class WorkloadRunner:
     """Drives load and run phases against one database instance."""
 
-    def __init__(self, db: LsmDB, *, clients: int = 8) -> None:
+    def __init__(
+        self,
+        db: LsmDB,
+        *,
+        clients: int = 8,
+        sample_interval_ms: float | None = None,
+        timeline_capacity: int = 4096,
+    ) -> None:
         if clients < 1:
             raise ConfigError("clients must be >= 1")
         self.db = db
         self.clients = clients
         self.read_latency = LatencyRecorder()
         self.update_latency = LatencyRecorder()
+        #: Scans recorded separately from point reads (YCSB-E style
+        #: workloads would otherwise skew the read percentiles).
+        self.scan_latency = LatencyRecorder()
         #: Read latencies bucketed by the source that served the read
         #: ("memtable", "L0".."L4", "miss"): where does the tail live?
         self.read_latency_by_source: dict[str, LatencyRecorder] = {}
@@ -159,6 +325,26 @@ class WorkloadRunner:
             for op in ("read", "update", "scan")
         }
         self._source_hist: dict[str, object] = {}
+        #: Optional time-series telemetry: pass ``sample_interval_ms`` to
+        #: record registry deltas every N simulated milliseconds (see
+        #: repro.obs.timeline). Off by default — the clock observer and
+        #: per-sample registry walk are not free.
+        self.sampler: TimelineSampler | None = None
+        if sample_interval_ms is not None:
+            self.sampler = TimelineSampler(
+                db.metrics,
+                db.clock,
+                interval_ms=sample_interval_ms,
+                capacity=timeline_capacity,
+                probes={
+                    "memtable.bytes": lambda: db.memtable_bytes,
+                    "l0.files": lambda: db.l0_file_count,
+                },
+            ).attach()
+
+    def _mark_phase(self, phase: str) -> None:
+        if self.sampler is not None:
+            self.sampler.mark_phase(phase)
 
     def _observe_read(self, source: str, latency: float) -> None:
         hist = self._source_hist.get(source)
@@ -170,6 +356,7 @@ class WorkloadRunner:
     def load(self, workload: YCSBWorkload) -> float:
         """Load phase; returns simulated elapsed usec."""
         start = self.db.clock.now
+        self._mark_phase("load")
         for request in workload.load_stream():
             result = self.db.put(request.key, request.value)
             self.db.clock.advance(result.latency_usec / self.clients)
@@ -179,6 +366,7 @@ class WorkloadRunner:
     def warmup(self, workload: YCSBWorkload) -> float:
         """Unmeasured warm-up traffic; returns simulated elapsed usec."""
         start = self.db.clock.now
+        self._mark_phase("warmup")
         for request in workload.warmup_stream():
             if request.kind == OpKind.READ:
                 latency = self.db.get(request.key).latency_usec
@@ -192,6 +380,7 @@ class WorkloadRunner:
     def run(self, workload: YCSBWorkload) -> float:
         """Transaction phase; returns simulated elapsed usec."""
         start = self.db.clock.now
+        self._mark_phase("run")
         for request in workload.run_stream():
             if request.kind == OpKind.READ:
                 result = self.db.get(request.key)
@@ -209,7 +398,7 @@ class WorkloadRunner:
                 self._op_hist["update"].observe(latency)
             else:
                 latency = self.db.scan(request.key, request.scan_length).latency_usec
-                self.read_latency.record(latency)
+                self.scan_latency.record(latency)
                 self._op_hist["scan"].observe(latency)
             self._ops_run += 1
             self.db.clock.advance(latency / self.clients)
@@ -246,6 +435,7 @@ class WorkloadRunner:
             throughput_kops=throughput_kops(self._ops_run, elapsed_usec),
             read_latency=self.read_latency.summary(),
             update_latency=self.update_latency.summary(),
+            scan_latency=self.scan_latency.summary(),
             reads_by_source=db.stats.reads_by_source.as_dict(),
             read_latency_by_source={
                 source: recorder.summary()
@@ -271,6 +461,7 @@ class WorkloadRunner:
             device_lifetime_years=device_life,
             storage_cost_dollars=db.layout.total_cost_dollars(),
             metrics=db.metrics.snapshot(),
+            timeline=self.sampler.to_dict() if self.sampler is not None else {},
         )
 
 
@@ -279,11 +470,18 @@ def run_experiment(
     workload_config: YCSBConfig,
     *,
     label: str | None = None,
+    sample_interval_ms: float | None = None,
 ) -> RunResult:
-    """Convenience wrapper: build, load, run, snapshot."""
+    """Convenience wrapper: build, load, run, snapshot.
+
+    ``sample_interval_ms`` turns on timeline sampling for the whole run
+    (load, warmup and measured phases, attributed via phase markers).
+    """
     workload = YCSBWorkload(workload_config)
     db = build_system(config, workload)
-    runner = WorkloadRunner(db, clients=config.clients)
+    runner = WorkloadRunner(
+        db, clients=config.clients, sample_interval_ms=sample_interval_ms
+    )
     runner.load(workload)
     if workload_config.warmup_operations > 0:
         runner.warmup(workload)

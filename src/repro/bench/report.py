@@ -30,11 +30,8 @@ from repro.bench.reporting import (
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench report",
-        description="Run a workload and report from the metrics registry.",
-    )
+def add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """The workload/system knobs shared by ``report`` and ``timeline``."""
     parser.add_argument("--system", default="prismdb",
                         choices=("rocksdb", "prismdb", "mutant"))
     parser.add_argument("--layout", default="NNNTQ", help="tier layout code")
@@ -45,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--read-pct", type=int, default=50,
                         help="read percentage; 50 = YCSB-A (default: 50)")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def add_report_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``report`` options to ``parser`` (reused by the CLI)."""
+    add_workload_arguments(parser)
     parser.add_argument("--metrics", action="store_true",
                         help="print the full metrics-registry snapshot")
     parser.add_argument("--breakdown", action="store_true",
@@ -55,6 +57,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record spans during the run; write JSONL here")
     parser.add_argument("--trace-sample-every", type=int, default=1,
                         help="keep every Nth span (default: all)")
+    parser.add_argument("--save", metavar="FILE", default=None,
+                        help="persist the whole RunResult as a JSON artifact "
+                             "(usable with `repro.bench compare/timeline`)")
+    parser.add_argument("--sample-interval-ms", type=float, default=None,
+                        metavar="MS",
+                        help="record a timeline, sampling every MS sim-ms "
+                             "(default with --save: 10)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench report",
+        description="Run a workload and report from the metrics registry.",
+    )
+    add_report_arguments(parser)
     return parser
 
 
@@ -75,7 +92,12 @@ def run_report(args: argparse.Namespace) -> int:
         with open(args.trace, "w", encoding="utf-8"):
             pass
         db.tracer.enable(sample_every=args.trace_sample_every)
-    runner = WorkloadRunner(db, clients=system_config.clients)
+    sample_interval = args.sample_interval_ms
+    if sample_interval is None and args.save:
+        sample_interval = 10.0  # artifacts should carry a timeline
+    runner = WorkloadRunner(
+        db, clients=system_config.clients, sample_interval_ms=sample_interval
+    )
     runner.load(workload)
     elapsed = runner.run(workload)
     result = runner.result(
@@ -107,6 +129,9 @@ def run_report(args: argparse.Namespace) -> int:
         dropped = db.tracer.dropped_events
         suffix = f" ({dropped} dropped)" if dropped else ""
         print(f"wrote {written} trace events to {args.trace}{suffix}")
+    if args.save:
+        result.save(args.save)
+        print(f"saved run artifact to {args.save}")
     return 0
 
 

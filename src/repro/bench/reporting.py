@@ -131,3 +131,107 @@ def latency_breakdown_table(snapshot: dict) -> tuple[list[str], list[list[object
     section("op.latency_usec", "op:")
     section("read.latency_usec", "read from ")
     return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Timeline views (see repro.obs.timeline and docs/OBSERVABILITY.md)
+# ----------------------------------------------------------------------
+SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render a series as a one-line sparkline, downsampled to ``width``.
+
+    Downsampling averages fixed-size chunks so a 4000-sample series still
+    fits a terminal row; the scale is min..max of the (downsampled)
+    series, so shape survives even when absolute values are huge.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk):max(int(i * chunk) + 1, int((i + 1) * chunk))])
+            / max(1, int((i + 1) * chunk) - int(i * chunk))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[1] * len(values)
+    steps = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[max(1, min(steps, 1 + int((v - lo) / span * (steps - 1))))]
+        for v in values
+    )
+
+
+def _phase_spans(timeline: dict) -> str:
+    markers = timeline.get("phases", [])
+    if not markers:
+        return ""
+    parts = [f"{phase}@{at_ms:.1f}ms" for at_ms, phase in markers]
+    return "phases: " + ", ".join(parts)
+
+
+def render_timeline_sparklines(
+    timeline: dict, series_names: Sequence[str], *, width: int = 72
+) -> str:
+    """One sparkline row per series, annotated with min/max/last."""
+    t_ms = timeline.get("t_ms", [])
+    if not t_ms:
+        return "(empty timeline)"
+    out = [
+        f"{len(t_ms)} samples, every {timeline.get('interval_ms', 0.0):g} sim-ms, "
+        f"{t_ms[0]:.1f}..{t_ms[-1]:.1f} ms"
+        + (f", {timeline['dropped']} dropped" if timeline.get("dropped") else "")
+    ]
+    spans = _phase_spans(timeline)
+    if spans:
+        out.append(spans)
+    name_width = max(len(name) for name in series_names)
+    for name in series_names:
+        values = timeline["series"].get(name, [])
+        lo = min(values) if values else 0.0
+        hi = max(values) if values else 0.0
+        last = values[-1] if values else 0.0
+        out.append(
+            f"{name.ljust(name_width)}  {sparkline(values, width)}  "
+            f"min={lo:g} max={hi:g} last={last:g}"
+        )
+    return "\n".join(out)
+
+
+def render_timeline_table(
+    timeline: dict, series_names: Sequence[str], *, max_rows: int = 40
+) -> str:
+    """Sampled rows as a fixed-width table (strided down to ``max_rows``)."""
+    t_ms = timeline.get("t_ms", [])
+    if not t_ms:
+        return "(empty timeline)"
+    stride = max(1, (len(t_ms) + max_rows - 1) // max_rows)
+    headers = ["t_ms", "phase"] + list(series_names)
+    rows = []
+    for i in range(0, len(t_ms), stride):
+        row = [f"{t_ms[i]:.1f}", timeline["phase"][i]]
+        for name in series_names:
+            values = timeline["series"].get(name, [])
+            row.append(fmt(values[i], 2) if i < len(values) else "")
+        rows.append(row)
+    suffix = f"\n({len(t_ms)} samples, showing every {stride})" if stride > 1 else ""
+    return format_table(headers, rows) + suffix
+
+
+def timeline_to_csv(timeline: dict, series_names: Sequence[str] | None = None) -> str:
+    """Full-resolution CSV export (t_ms, phase, then one column per series)."""
+    names = list(series_names) if series_names else sorted(timeline.get("series", {}))
+    lines = [",".join(["t_ms", "phase"] + names)]
+    t_ms = timeline.get("t_ms", [])
+    for i, at_ms in enumerate(t_ms):
+        cells = [f"{at_ms:g}", timeline["phase"][i]]
+        for name in names:
+            values = timeline["series"].get(name, [])
+            cells.append(f"{values[i]:g}" if i < len(values) else "")
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -129,6 +129,8 @@ class LsmDB:
         self.cache = BlockCache(self.options.block_cache_bytes)
         self.cache.bind_observability(self.metrics)
         self.row_cache = RowCache(self.options.row_cache_bytes)
+        if self.options.row_cache_bytes:
+            self.row_cache.bind_observability(self.metrics)
         self.manifest = LevelManifest(self.options.num_levels)
         self.picker = picker or LargestFilePicker()
         self.router = router or CompactDownRouter()
@@ -451,6 +453,16 @@ class LsmDB:
     def metrics_snapshot(self) -> dict:
         """A JSON-safe snapshot of every registered metric series."""
         return self.metrics.snapshot()
+
+    @property
+    def memtable_bytes(self) -> int:
+        """Approximate bytes buffered in the active memtable."""
+        return self._memtable.approximate_bytes
+
+    @property
+    def l0_file_count(self) -> int:
+        """Files currently at L0 (the flush backlog the sampler plots)."""
+        return self.manifest.file_count(0)
 
     def total_data_bytes(self) -> int:
         """Bytes currently stored across all levels (excl. memtable)."""

@@ -55,6 +55,13 @@ class RowCache:
         # key -> (value-or-None, seqno of the version cached)
         self._entries: OrderedDict[bytes, tuple[bytes | None, int]] = OrderedDict()
         self._used_bytes = 0
+        self._obs_hits = None
+        self._obs_misses = None
+
+    def bind_observability(self, registry) -> None:
+        """Mirror hit/miss accounting into ``registry`` (rowcache.* series)."""
+        self._obs_hits = registry.counter("rowcache.hits")
+        self._obs_misses = registry.counter("rowcache.misses")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,9 +86,13 @@ class RowCache:
             self._entries.move_to_end(key)
             value, seqno = entry
             self.stats.hits += 1
+            if self._obs_hits is not None:
+                self._obs_hits.inc()
             size = self._entry_size(key, value)
             return True, value, seqno, DRAM_SPEC.read_time_usec(size)
         self.stats.misses += 1
+        if self._obs_misses is not None:
+            self._obs_misses.inc()
         return False, None, 0, 0.0
 
     def insert(self, key: bytes, value: bytes | None, seqno: int) -> None:

@@ -23,7 +23,9 @@ from repro.obs.metrics import (
     exponential_buckets,
     format_series,
     label_key,
+    percentile_from_buckets,
 )
+from repro.obs.timeline import TimelineSampler, timeline_series
 from repro.obs.tracing import (
     NOOP_TRACER,
     Tracer,
@@ -40,6 +42,9 @@ __all__ = [
     "exponential_buckets",
     "format_series",
     "label_key",
+    "percentile_from_buckets",
+    "TimelineSampler",
+    "timeline_series",
     "Tracer",
     "NOOP_TRACER",
     "jsonl_to_chrome_json",

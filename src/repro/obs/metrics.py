@@ -102,6 +102,38 @@ def exponential_buckets(start: float, factor: float, count: int) -> tuple[float,
 DEFAULT_LATENCY_BUCKETS = exponential_buckets(1.0, 2.0, 27)
 
 
+def percentile_from_buckets(
+    bounds: tuple[float, ...],
+    bucket_counts: list[int],
+    pct: float,
+    maximum: float | None = None,
+) -> float:
+    """Nearest-rank percentile over an arbitrary bucket-count vector.
+
+    The workhorse behind both :meth:`Histogram.percentile` and *delta*
+    percentiles (interval percentiles computed from the difference of two
+    bucket snapshots — see :mod:`repro.obs.timeline`). ``bucket_counts``
+    has ``len(bounds) + 1`` entries, the last being the overflow bucket.
+    ``maximum`` clamps the reported bound to the observed max when known;
+    without it the overflow bucket reports the last finite bound.
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile out of range: {pct}")
+    count = sum(bucket_counts)
+    if count == 0:
+        return 0.0
+    rank = min(count, max(1, math.ceil(pct / 100.0 * count)))
+    cumulative = 0
+    for index, bucket_count in enumerate(bucket_counts):
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if index >= len(bounds):
+                return maximum if maximum is not None else bounds[-1]
+            bound = bounds[index]
+            return min(bound, maximum) if maximum is not None else bound
+    return maximum if maximum is not None else bounds[-1]  # pragma: no cover
+
+
 class Histogram:
     """Fixed-bucket histogram with nearest-rank percentile estimates.
 
@@ -156,19 +188,13 @@ class Histogram:
         clamped to the observed max (the overflow bucket and the final
         bucket report the true maximum, so p100 is always exact).
         """
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError(f"percentile out of range: {pct}")
         if self.count == 0:
+            if not 0.0 <= pct <= 100.0:
+                raise ValueError(f"percentile out of range: {pct}")
             return 0.0
-        rank = min(self.count, max(1, math.ceil(pct / 100.0 * self.count)))
-        cumulative = 0
-        for index, bucket_count in enumerate(self.bucket_counts):
-            cumulative += bucket_count
-            if cumulative >= rank:
-                if index >= len(self.bounds):
-                    return self.maximum
-                return min(self.bounds[index], self.maximum)
-        return self.maximum  # pragma: no cover - unreachable
+        return percentile_from_buckets(
+            self.bounds, self.bucket_counts, pct, maximum=self.maximum
+        )
 
     def summary(self) -> LatencySummary:
         """The same shape :class:`LatencyRecorder` reports, from buckets."""
@@ -260,15 +286,33 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels) -> float:
         """One series' scalar value; 0.0 if the series does not exist."""
-        entry = self._metrics.get(name)
-        if entry is None:
-            return 0.0
-        instrument = entry[2].get(label_key(labels))
+        instrument = self.instrument(name, **labels)
         if instrument is None:
             return 0.0
         if isinstance(instrument, Histogram):
             return float(instrument.count)
         return instrument.value
+
+    def instrument(self, name: str, **labels):
+        """The live instrument for one series, or None if absent.
+
+        Read-only access for consumers that need more than a scalar —
+        the timeline sampler diffs histogram bucket vectors between
+        samples through this accessor.
+        """
+        entry = self._metrics.get(name)
+        if entry is None:
+            return None
+        return entry[2].get(label_key(labels))
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        """Sorted distinct values ``label`` takes across ``name``'s series."""
+        values = {
+            labels[label]
+            for labels, _ in self.series(name)
+            if label in labels
+        }
+        return sorted(values)
 
     def total(self, name: str, **label_filter) -> float:
         """Sum of all series of ``name`` whose labels match the filter.

@@ -87,6 +87,29 @@ class TestWorkloadRunner:
         with pytest.raises(ConfigError):
             WorkloadRunner(db, clients=0)
 
+    def test_scan_latency_recorded_separately(self):
+        config = YCSBConfig(
+            record_count=2_000, operation_count=2_000,
+            read_proportion=0.5, update_proportion=0.3, scan_proportion=0.2,
+        )
+        workload = YCSBWorkload(config)
+        db = build_system(SystemConfig(system="rocksdb"), workload)
+        runner = WorkloadRunner(db, clients=8)
+        runner.load(workload)
+        runner.run(workload)
+        assert len(runner.scan_latency) > 0
+        total = (
+            len(runner.read_latency)
+            + len(runner.update_latency)
+            + len(runner.scan_latency)
+        )
+        assert total == config.operation_count
+        # Scans touch many records, so they must not drag point-read
+        # percentiles: the populations are disjoint.
+        result = runner.result("scan-split", SystemConfig(system="rocksdb"), 1.0)
+        assert result.scan_latency.count == len(runner.scan_latency)
+        assert result.scan_latency.mean > result.read_latency.mean
+
 
 class TestRunExperiment:
     def test_end_to_end_result(self):

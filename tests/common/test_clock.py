@@ -45,3 +45,56 @@ class TestSimClock:
         clock = SimClock(50.0)
         clock.advance_to(10.0)
         assert clock.now == 50.0
+
+
+class TestClockObservers:
+    def test_observer_fires_on_advance(self):
+        clock = SimClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(5.0)
+        clock.advance(2.0)
+        assert seen == [5.0, 7.0]
+
+    def test_observer_fires_on_advance_to(self):
+        clock = SimClock(10.0)
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance_to(25.0)
+        assert seen == [25.0]
+
+    def test_no_fire_when_time_does_not_move(self):
+        clock = SimClock(10.0)
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(0.0)
+        clock.advance_to(5.0)  # past: no-op
+        assert seen == []
+
+    def test_unsubscribe_stops_notifications(self):
+        clock = SimClock()
+        seen = []
+        observer = clock.subscribe(seen.append)
+        clock.advance(1.0)
+        clock.unsubscribe(observer)
+        clock.advance(1.0)
+        assert seen == [1.0]
+
+    def test_unsubscribe_unknown_is_noop(self):
+        clock = SimClock()
+        clock.unsubscribe(lambda now: None)  # must not raise
+
+    def test_observers_fire_in_subscription_order(self):
+        clock = SimClock()
+        order = []
+        clock.subscribe(lambda now: order.append("a"))
+        clock.subscribe(lambda now: order.append("b"))
+        clock.advance(1.0)
+        assert order == ["a", "b"]
+
+    def test_observer_sees_committed_time(self):
+        clock = SimClock()
+        inside = []
+        clock.subscribe(lambda now: inside.append(clock.now == now))
+        clock.advance(3.0)
+        assert inside == [True]
