@@ -25,6 +25,15 @@ fi
 echo "== unit tests (-m 'not bench') =="
 python -m pytest -m "not bench" "$@"
 
+# Non-gating: wall-clock microbenchmarks of the simulator's hot-path
+# primitives. Numbers vary with machine load, so failures or slow
+# results never fail the check — the output is for eyeballing
+# wall-clock regressions (see docs/PERFORMANCE.md).
+echo "== micro-smoke (non-gating) =="
+if ! python -m repro.bench micro --quick; then
+    echo "micro-smoke failed (non-gating); continuing"
+fi
+
 # Opt-in perf gate: smoke-runs every system, appends a trajectory point
 # to BENCH_SMOKE.json, and fails on regressions beyond tolerance vs the
 # committed baselines. Enable with REPRO_PERF_GATE=1; tune the allowed

@@ -4,11 +4,13 @@ Usage::
 
     python -m repro.bench list                      # catalogue + subcommands
     python -m repro.bench run table1 fig4 table3    # analytic, fast
+    python -m repro.bench run fig9a --profile       # + cProfile hot spots
     python -m repro.bench fig9a                     # legacy form still works
     python -m repro.bench report --metrics          # registry-driven report
     python -m repro.bench report --save run.json    # persist a run artifact
     python -m repro.bench timeline --series throughput_kops
     python -m repro.bench compare a.json b.json --tolerance 5
+    python -m repro.bench micro --quick             # wall-clock primitives
     REPRO_BENCH_SCALE=quick python -m repro.bench run all
 
 Exit codes: 0 on success, 1 when ``compare`` finds a regression beyond
@@ -65,7 +67,7 @@ DEFAULT_TIMELINE_SERIES = (
     "l0.files",
 )
 
-SUBCOMMANDS = ("run", "report", "timeline", "compare", "list")
+SUBCOMMANDS = ("run", "report", "timeline", "compare", "micro", "list")
 
 
 def _print_listing() -> None:
@@ -98,11 +100,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    runner = exp.shared_runner()
-    for name in names:
-        title, func, needs_runner = EXPERIMENTS[name]
-        headers, rows = func(runner) if needs_runner else func()
-        print(format_experiment(title, headers, rows))
+
+    def execute() -> None:
+        runner = exp.shared_runner()
+        for name in names:
+            title, func, needs_runner = EXPERIMENTS[name]
+            headers, rows = func(runner) if needs_runner else func()
+            print(format_experiment(title, headers, rows))
+
+    if not args.profile:
+        execute()
+        return 0
+    # Profile the whole batch (simulation included) and append the top
+    # functions by cumulative wall time — the view that surfaces which
+    # simulator layer a slow experiment actually spends its time in.
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        execute()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    print(f"\n--- cProfile: top {args.profile_limit} by cumulative time ---")
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.profile_limit)
     return 0
 
 
@@ -196,11 +219,18 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return run_compare(args)
 
 
+def _cmd_micro(args: argparse.Namespace) -> int:
+    from repro.bench.micro import run_micro_command
+
+    return run_micro_command(args)
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     from repro.bench.compare import add_compare_arguments
+    from repro.bench.micro import add_micro_arguments
     from repro.bench.report import add_report_arguments, add_workload_arguments
 
     parser = argparse.ArgumentParser(
@@ -214,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("names", nargs="*", metavar="EXPERIMENT",
                        help="experiment names (see `list`); 'all' runs everything")
+    run_p.add_argument("--profile", action="store_true",
+                       help="wrap the run in cProfile and print hot functions")
+    run_p.add_argument("--profile-limit", type=int, default=25, metavar="N",
+                       help="profile rows to print (default: 25)")
     run_p.set_defaults(func=_cmd_run)
 
     list_p = sub.add_parser("list", help="list experiments and subcommands")
@@ -255,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_compare_arguments(compare_p)
     compare_p.set_defaults(func=_cmd_compare)
+
+    micro_p = sub.add_parser(
+        "micro",
+        help="wall-clock microbenchmarks of simulator hot-path primitives",
+    )
+    add_micro_arguments(micro_p)
+    micro_p.set_defaults(func=_cmd_micro)
 
     return parser
 

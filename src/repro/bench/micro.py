@@ -1,0 +1,427 @@
+"""Wall-clock microbenchmarks for the simulator's hot primitives.
+
+Everything else in ``repro.bench`` reports *simulated* time; this module
+is the one place that measures *real* wall-clock, because the
+simulator's usefulness depends on how fast it turns the crank. Each
+benchmark isolates one primitive that profiling showed on the hot path —
+block decode/search, bloom add/probe, skiplist insert/seek, the
+compaction merge, zipfian sampling, metrics counter updates — plus one
+end-to-end smoke workload measured in operations per wall second.
+
+Methodology: every benchmark is a closure performing ``n`` inner
+operations per call. The harness runs one warmup call (JIT-free Python
+still benefits: allocator warm, branch caches, lazily built tables),
+then ``repeats`` timed calls, and reports the *best* repetition — the
+standard way to strip scheduler noise from a single-threaded benchmark —
+alongside the median for honesty about variance.
+
+Usage::
+
+    python -m repro.bench micro                 # full suite
+    python -m repro.bench micro --quick         # CI-sized, a few seconds
+    python -m repro.bench micro --filter bloom  # substring selection
+    python -m repro.bench micro --json out.json # machine-readable dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: (inner ops per repetition, timed repetitions) by scale.
+_SCALES = {
+    "full": (20_000, 5),
+    "quick": (2_000, 3),
+}
+
+#: Benchmarks too heavy to run at the standard inner-op count get a
+#: divisor; e2e runs a whole workload per "op" batch.
+_HEAVY_DIVISOR = 10
+
+
+@dataclass
+class MicroResult:
+    """One benchmark's timing: best/median ns per op across repetitions."""
+
+    name: str
+    inner_ops: int
+    repeats: int
+    best_ns: float
+    median_ns: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return 1e9 / self.best_ns if self.best_ns > 0 else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "inner_ops": self.inner_ops,
+            "repeats": self.repeats,
+            "best_ns_per_op": self.best_ns,
+            "median_ns_per_op": self.median_ns,
+            "ops_per_sec": self.ops_per_sec,
+        }
+
+
+def _time_one(op: Callable[[int], int | None], n: int, repeats: int) -> tuple[float, float]:
+    """Run ``op(n)`` once warm then ``repeats`` timed; (best, median) ns/op.
+
+    ``op`` may return the number of operations it actually performed
+    (batch-granular benchmarks overshoot ``n``); ``None`` means exactly
+    ``n``.
+    """
+    op(n)  # warmup
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        actual = op(n)
+        elapsed = time.perf_counter() - start
+        samples.append(elapsed * 1e9 / (actual if actual else n))
+    samples.sort()
+    return samples[0], samples[len(samples) // 2]
+
+
+# ----------------------------------------------------------------------
+# Benchmark factories. Each returns (callable(n), heavy) where the
+# callable performs n inner operations; heavy benchmarks run at a
+# reduced inner count. Setup cost stays outside the timed region.
+# ----------------------------------------------------------------------
+def _records(count: int, value_bytes: int = 64):
+    from repro.lsm.record import Record, ValueKind
+
+    return [
+        Record(f"key{i:06d}".encode(), i + 1, ValueKind.PUT, b"v" * value_bytes)
+        for i in range(count)
+    ]
+
+
+def _bench_block_build():
+    from repro.lsm.block import DataBlockBuilder
+
+    records = _records(40)
+
+    def op(n: int) -> None:
+        for _ in range(n):
+            builder = DataBlockBuilder(1 << 20)
+            for record in records:
+                builder.add(record)
+            builder.finish()
+
+    return op, True
+
+
+def _bench_block_decode():
+    from repro.lsm.block import DataBlock, DataBlockBuilder
+
+    records = _records(40)
+    builder = DataBlockBuilder(1 << 20)
+    for record in records:
+        builder.add(record)
+    buf = builder.finish()
+
+    def op(n: int) -> None:
+        for _ in range(n):
+            DataBlock(buf).records()
+
+    return op, True
+
+
+def _bench_block_point_search():
+    """The read path's unit of work: parse trailer, binary-search, decode one."""
+    from repro.lsm.block import DataBlock, DataBlockBuilder
+
+    records = _records(40)
+    builder = DataBlockBuilder(1 << 20)
+    for record in records:
+        builder.add(record)
+    buf = builder.finish()
+    keys = [record.user_key for record in records]
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        for i in range(n):
+            DataBlock(buf).search(keys[i % n_keys])
+
+    return op, False
+
+
+def _bench_bloom_add():
+    from repro.lsm.bloom import BloomFilter
+
+    keys = [f"bloomkey{i:07d}".encode() for i in range(10_000)]
+
+    def op(n: int) -> None:
+        done = 0
+        while done < n:
+            batch = keys[: min(n - done, len(keys))]
+            BloomFilter.for_capacity(len(keys)).add_many(batch)
+            done += len(batch)
+
+    return op, False
+
+
+def _bench_bloom_probe_hit():
+    from repro.lsm.bloom import BloomFilter
+
+    keys = [f"bloomkey{i:07d}".encode() for i in range(10_000)]
+    bloom = BloomFilter.for_capacity(len(keys))
+    bloom.add_many(keys)
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        may_contain = bloom.may_contain
+        for i in range(n):
+            may_contain(keys[i % n_keys])
+
+    return op, False
+
+
+def _bench_bloom_probe_miss():
+    from repro.lsm.bloom import BloomFilter
+
+    keys = [f"bloomkey{i:07d}".encode() for i in range(10_000)]
+    bloom = BloomFilter.for_capacity(len(keys))
+    bloom.add_many(keys)
+    absent = [f"absentkey{i:07d}".encode() for i in range(10_000)]
+    n_keys = len(absent)
+
+    def op(n: int) -> None:
+        may_contain = bloom.may_contain
+        for i in range(n):
+            may_contain(absent[i % n_keys])
+
+    return op, False
+
+
+def _bench_skiplist_insert():
+    from repro.lsm.skiplist import SkipList
+
+    keys = [f"sk{i:07d}".encode() for i in range(5_000)]
+
+    def op(n: int) -> None:
+        done = 0
+        while done < n:
+            skiplist = SkipList(seed=0)
+            batch = min(n - done, len(keys))
+            for i in range(batch):
+                skiplist.insert(keys[i], i)
+            done += batch
+
+    return op, False
+
+
+def _bench_skiplist_seek():
+    from repro.lsm.skiplist import SkipList
+
+    keys = [f"sk{i:07d}".encode() for i in range(5_000)]
+    skiplist = SkipList(seed=0)
+    for i, key in enumerate(keys):
+        skiplist.insert(key, i)
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        get = skiplist.get
+        for i in range(n):
+            get(keys[i % n_keys])
+
+    return op, False
+
+
+def _bench_merge_records():
+    """Compaction's merge: 4 pre-sorted runs through merge_records."""
+    from repro.lsm.iterators import merge_records
+    from repro.lsm.record import Record, ValueKind
+
+    total = 10_000
+    runs = [
+        [
+            Record(f"k{i:07d}".encode(), i + 1, ValueKind.PUT, b"v" * 16)
+            for i in range(j, total, 4)
+        ]
+        for j in range(4)
+    ]
+
+    def op(n: int) -> int:
+        done = 0
+        while done < n:
+            for record in merge_records(runs):
+                pass
+            done += total
+        return done
+
+    return op, True
+
+
+def _bench_zipfian_sample():
+    import random
+
+    from repro.workloads.zipfian import ScrambledZipfianGenerator
+
+    generator = ScrambledZipfianGenerator(100_000, 0.99, random.Random(0))
+
+    def op(n: int) -> None:
+        next_index = generator.next_index
+        for _ in range(n):
+            next_index()
+
+    return op, False
+
+
+def _bench_zipfian_setup():
+    """Generator construction: dominated by the zeta sum before caching."""
+    import random
+
+    from repro.workloads import zipfian
+
+    def op(n: int) -> None:
+        for _ in range(n):
+            zipfian._ZETA_CACHE.clear()
+            zipfian.ScrambledZipfianGenerator(50_000, 0.99, random.Random(0))
+
+    return op, True
+
+
+def _bench_metrics_counter():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+
+    def op(n: int) -> None:
+        counter = registry.counter
+        for _ in range(n):
+            counter("micro.bench", kind="inc").inc()
+
+    return op, False
+
+
+def _bench_e2e_smoke():
+    """End-to-end: the perf gate's seeded YCSB-A smoke run, wall-clock."""
+    from repro.bench.harness import SystemConfig, run_experiment
+    from repro.workloads.ycsb import YCSBConfig
+
+    def op(n: int) -> int:
+        runs = max(1, n // _E2E_OPS_PER_RUN)
+        for _ in range(runs):
+            config = SystemConfig(system="prismdb", layout_code="NNNTQ", seed=0)
+            workload = YCSBConfig.read_update(
+                50, record_count=3_000, operation_count=5_000, seed=0
+            )
+            run_experiment(config, workload, label="micro/e2e")
+        return runs * _E2E_OPS_PER_RUN
+
+    return op, True
+
+
+#: name -> (description, factory). Order is presentation order.
+BENCHMARKS: dict[str, tuple[str, Callable]] = {
+    "block.build": ("encode a 40-record data block", _bench_block_build),
+    "block.decode": ("decode all records of a 4KB block", _bench_block_decode),
+    "block.point_search": ("lazy point lookup in an encoded block", _bench_block_point_search),
+    "bloom.add": ("bulk-insert keys into a bloom filter", _bench_bloom_add),
+    "bloom.probe_hit": ("membership probe, key present", _bench_bloom_probe_hit),
+    "bloom.probe_miss": ("membership probe, key absent", _bench_bloom_probe_miss),
+    "skiplist.insert": ("memtable skiplist insert", _bench_skiplist_insert),
+    "skiplist.seek": ("memtable skiplist point lookup", _bench_skiplist_seek),
+    "merge.records": ("4-way sorted-run merge, per record", _bench_merge_records),
+    "zipfian.sample": ("scrambled zipfian key draw", _bench_zipfian_sample),
+    "zipfian.setup": ("generator construction, zeta cache cold", _bench_zipfian_setup),
+    "metrics.counter_inc": ("labelled counter lookup + increment", _bench_metrics_counter),
+    "e2e.smoke": ("full 5k-op YCSB-A smoke run (per DB operation)", _bench_e2e_smoke),
+}
+
+#: e2e runs whole workloads; its "inner op" is one *database* operation,
+#: so scale its count to workload size instead of the generic divisor.
+_E2E_OPS_PER_RUN = 5_000
+
+
+def run_micro(
+    *,
+    quick: bool = False,
+    name_filter: str | None = None,
+    repeats: int | None = None,
+) -> list[MicroResult]:
+    """Run the (filtered) suite and return per-benchmark results."""
+    inner, default_repeats = _SCALES["quick" if quick else "full"]
+    repeats = repeats or default_repeats
+    results = []
+    for name, (_, factory) in BENCHMARKS.items():
+        if name_filter and name_filter not in name:
+            continue
+        op, heavy = factory()
+        if name == "e2e.smoke":
+            # One repetition = one-to-three whole workloads; reported
+            # per *database* operation.
+            n = _E2E_OPS_PER_RUN * (1 if quick else 3)
+            best, median = _time_one(op, n, 1 if quick else repeats)
+        else:
+            n = max(1, inner // _HEAVY_DIVISOR) if heavy else inner
+            best, median = _time_one(op, n, repeats)
+        results.append(
+            MicroResult(
+                name=name,
+                inner_ops=n,
+                repeats=repeats,
+                best_ns=best,
+                median_ns=median,
+            )
+        )
+    return results
+
+
+def format_micro(results: list[MicroResult]) -> str:
+    """Fixed-width table matching the repo's experiment output style."""
+    header = f"{'benchmark':24s} {'best':>12s} {'median':>12s} {'ops/sec':>14s}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        desc = BENCHMARKS[result.name][0]
+        lines.append(
+            f"{result.name:24s} {_fmt_ns(result.best_ns):>12s} "
+            f"{_fmt_ns(result.median_ns):>12s} {result.ops_per_sec:>14,.0f}"
+            f"  {desc}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def add_micro_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized counts: a few seconds total")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="only run benchmarks whose name contains SUBSTR")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repetitions per benchmark (default by scale)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write results as JSON")
+
+
+def run_micro_command(args: argparse.Namespace) -> int:
+    results = run_micro(
+        quick=args.quick, name_filter=args.filter, repeats=args.repeats
+    )
+    if not results:
+        print(f"no benchmark matches filter {args.filter!r}", file=sys.stderr)
+        return 2
+    print(format_micro(results))
+    if args.json:
+        payload = {
+            "schema": 1,
+            "scale": "quick" if args.quick else "full",
+            "benchmarks": [result.to_json() for result in results],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote JSON results to {args.json}", file=sys.stderr)
+    return 0

@@ -33,14 +33,27 @@ def make_rng(root_seed: int, *labels: str) -> random.Random:
     return random.Random(derive_seed(root_seed, *labels))
 
 
+#: Memo for :func:`fnv1a_64`. The hash is byte-serial Python — the
+#: single hottest function in an end-to-end profile — and its inputs
+#: repeat constantly: zipfian draws hammer the hot keys and every
+#: compaction re-blooms the same user keys at the next level. Bounded
+#: insert-only (no eviction bookkeeping); once full, new keys just pay
+#: the loop. Memoization of a pure function cannot affect results.
+_FNV_CACHE: dict[bytes, int] = {}
+_FNV_CACHE_MAX = 1 << 18
+
+
 def fnv1a_64(data: bytes) -> int:
     """64-bit FNV-1a hash, used for key scrambling and bloom filters.
 
     Pure-Python but cheap; chosen because it is deterministic across
     processes (unlike :func:`hash` with string randomization).
     """
-    acc = 0xCBF29CE484222325
-    for byte in data:
-        acc ^= byte
-        acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    acc = _FNV_CACHE.get(data)
+    if acc is None:
+        acc = 0xCBF29CE484222325
+        for byte in data:
+            acc = ((acc ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        if len(_FNV_CACHE) < _FNV_CACHE_MAX:
+            _FNV_CACHE[data] = acc
     return acc

@@ -41,16 +41,36 @@ class LatencySummary:
 
 
 class LatencyRecorder:
-    """Accumulates latency samples and computes percentile summaries."""
+    """Accumulates latency samples and computes percentile summaries.
+
+    The hot path (:meth:`record`) is a bare list append — no sorting, no
+    invalidation flag, no per-record work at all. Sorting happens lazily
+    at summary time and the sorted vector is reused until the population
+    grows: samples are append-only, so ``len(sorted) != len(samples)``
+    is a complete staleness check. Repeated ``percentile()`` /
+    ``summary()`` calls on an unchanged recorder (report tables ask for
+    several percentiles of the same population) sort exactly once.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._ordered: list[float] | None = None
 
     def record(self, latency_usec: float) -> None:
         """Add one sample. Negative latencies indicate a simulator bug."""
         if latency_usec < 0:
             raise ValueError(f"negative latency recorded: {latency_usec}")
         self._samples.append(latency_usec)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one.
+
+        Used to combine per-phase populations (e.g. warmup + measured, or
+        per-client recorders) into one summary without re-recording.
+        """
+        if other is self:
+            raise ValueError("cannot merge a recorder into itself")
+        self._samples.extend(other._samples)
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -60,19 +80,25 @@ class LatencyRecorder:
         """The raw sample list (not copied; treat as read-only)."""
         return self._samples
 
+    def _sorted_samples(self) -> list[float]:
+        ordered = self._ordered
+        if ordered is None or len(ordered) != len(self._samples):
+            ordered = self._ordered = sorted(self._samples)
+        return ordered
+
     def percentile(self, pct: float) -> float:
         """Nearest-rank percentile; ``pct`` in [0, 100]."""
         if not self._samples:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile out of range: {pct}")
-        return nearest_rank(sorted(self._samples), pct)
+        return nearest_rank(self._sorted_samples(), pct)
 
     def summary(self) -> LatencySummary:
-        """Compute count/mean/p50/p95/p99/max in one pass."""
+        """Compute count/mean/p50/p95/p99/max from the lazily sorted vector."""
         if not self._samples:
             return LatencySummary.empty()
-        ordered = sorted(self._samples)
+        ordered = self._sorted_samples()
         n = len(ordered)
         return LatencySummary(
             count=n,

@@ -5,17 +5,36 @@ run of records in internal-key order. Blocks are the unit of device I/O
 and of block-cache residency — the granularity mismatch between 4 KB
 blocks and ~100 B objects is central to the paper's caching analysis
 (§3.3), so blocks here are real serialized byte strings, not lists.
+
+Wire format (v2, LevelDB-style restart trailer)::
+
+    record[0] .. record[count-1]      # concatenated Record encodings
+    u32 offset[0] .. offset[count-1]  # byte offset of each record
+    u16 count
+
+The restart-point offset array lets a point read *binary-search the
+encoded buffer* and decode only the one candidate record, instead of
+materializing every record in the block. :class:`DataBlock` is the
+decoded-side handle: it parses the trailer once (cheap — a single struct
+call) and then serves lazy point searches; the full record list is only
+built on demand (scans, compactions) and memoized. The block cache keeps
+``DataBlock`` objects alongside the raw bytes so a cache hit never
+re-parses anything.
 """
 
 from __future__ import annotations
 
-import bisect
 import struct
 
 from repro.errors import CorruptionError
 from repro.lsm.record import Record
 
 _COUNT = struct.Struct("<H")
+_OFFSET = struct.Struct("<I")
+_KEY_LEN = struct.Struct("<H")
+#: Record header layout (key_len, value_len, kind, seqno); mirrored from
+#: :mod:`repro.lsm.record` so key peeks avoid building Record objects.
+_REC_HEADER = struct.Struct("<HIBQ")
 
 
 class DataBlockBuilder:
@@ -33,7 +52,8 @@ class DataBlockBuilder:
 
     @property
     def estimated_bytes(self) -> int:
-        return _COUNT.size + self._payload_bytes
+        # Payload + one u32 restart offset per record + the count trailer.
+        return self._payload_bytes + _OFFSET.size * len(self._records) + _COUNT.size
 
     def add(self, record: Record) -> None:
         if self._records:
@@ -61,36 +81,134 @@ class DataBlockBuilder:
         """Serialize and reset the builder."""
         if len(self._records) > 0xFFFF:
             raise ValueError(f"too many records in one block: {len(self._records)}")
-        parts = [_COUNT.pack(len(self._records))]
-        parts.extend(record.encode() for record in self._records)
+        parts: list[bytes] = []
+        offsets: list[int] = []
+        position = 0
+        for record in self._records:
+            offsets.append(position)
+            encoded = record.encode()
+            parts.append(encoded)
+            position += len(encoded)
+        if offsets:
+            parts.append(struct.pack(f"<{len(offsets)}I", *offsets))
+        parts.append(_COUNT.pack(len(self._records)))
         self._records = []
         self._payload_bytes = 0
         return b"".join(parts)
 
 
+class DataBlock:
+    """Decoded-side handle over one serialized data block.
+
+    Construction parses only the restart trailer (count + offset array).
+    Point lookups binary-search the *encoded* records through the offset
+    array, peeking at keys via header reads, and decode exactly one
+    candidate record. :meth:`records` materializes the full list for
+    sequential consumers and memoizes it, so a block used by both the
+    point-read and scan paths parses each representation at most once.
+    """
+
+    __slots__ = ("buf", "count", "offsets", "records_end", "_records")
+
+    def __init__(self, buf: bytes) -> None:
+        if len(buf) < _COUNT.size:
+            raise CorruptionError("truncated data block")
+        (count,) = _COUNT.unpack_from(buf, len(buf) - _COUNT.size)
+        trailer = _COUNT.size + count * _OFFSET.size
+        if len(buf) < trailer:
+            raise CorruptionError(
+                f"truncated restart array: {count} records, {len(buf)} bytes"
+            )
+        records_end = len(buf) - trailer
+        offsets = struct.unpack_from(f"<{count}I", buf, records_end)
+        if count and (offsets[0] != 0 or offsets[-1] >= records_end):
+            raise CorruptionError(f"restart offsets out of range: {offsets[:4]}...")
+        self.buf = buf
+        self.count = count
+        self.offsets = offsets
+        self.records_end = records_end
+        self._records: list[Record] | None = None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _key_at(self, index: int) -> bytes:
+        """The user key of record ``index``, without building a Record."""
+        offset = self.offsets[index]
+        if offset + _REC_HEADER.size > self.records_end:
+            raise CorruptionError(f"truncated record header at offset {offset}")
+        (key_len,) = _KEY_LEN.unpack_from(self.buf, offset)
+        start = offset + _REC_HEADER.size
+        key = self.buf[start : start + key_len]
+        if len(key) != key_len:
+            raise CorruptionError(f"truncated record key at offset {offset}")
+        return key
+
+    def search(self, user_key: bytes) -> Record | None:
+        """Newest record for ``user_key``, decoding only the candidate.
+
+        Records are in internal order (key asc, seqno desc), so the first
+        record at-or-after ``user_key`` is the newest version if the keys
+        match. When the record list is already materialized the search
+        runs over it directly (no byte peeks).
+        """
+        records = self._records
+        if records is not None:
+            return search_block(records, user_key)
+        lo, hi = 0, self.count
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._key_at(mid) < user_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < self.count and self._key_at(lo) == user_key:
+            record, _ = Record.decode_from(self.buf, self.offsets[lo])
+            return record
+        return None
+
+    def records(self) -> list[Record]:
+        """The full decoded record list (memoized)."""
+        records = self._records
+        if records is None:
+            records = []
+            offset = 0
+            buf = self.buf
+            decode_from = Record.decode_from
+            for index in range(self.count):
+                if offset != self.offsets[index]:
+                    raise CorruptionError(
+                        f"restart offset mismatch at record {index}: "
+                        f"{self.offsets[index]} != {offset}"
+                    )
+                record, offset = decode_from(buf, offset)
+                records.append(record)
+            if offset != self.records_end:
+                raise CorruptionError(
+                    f"trailing garbage in data block: {self.records_end - offset} bytes"
+                )
+            self._records = records
+        return records
+
+
 def decode_block(buf: bytes) -> list[Record]:
     """Parse a serialized data block back into its record list."""
-    if len(buf) < _COUNT.size:
-        raise CorruptionError("truncated data block")
-    (count,) = _COUNT.unpack_from(buf, 0)
-    records: list[Record] = []
-    offset = _COUNT.size
-    for _ in range(count):
-        record, offset = Record.decode_from(buf, offset)
-        records.append(record)
-    if offset != len(buf):
-        raise CorruptionError(f"trailing garbage in data block: {len(buf) - offset} bytes")
-    return records
+    return DataBlock(buf).records()
 
 
 def search_block(records: list[Record], user_key: bytes) -> Record | None:
-    """Find the newest record for ``user_key`` in a decoded block.
+    """Find the newest record for ``user_key`` in a decoded record list.
 
     Records are in internal order (key asc, seqno desc), so the first
     match by user key is the newest version within the block.
     """
-    keys = [record.user_key for record in records]
-    idx = bisect.bisect_left(keys, user_key)
-    if idx < len(records) and records[idx].user_key == user_key:
-        return records[idx]
+    lo, hi = 0, len(records)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if records[mid].user_key < user_key:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo < len(records) and records[lo].user_key == user_key:
+        return records[lo]
     return None

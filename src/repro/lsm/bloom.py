@@ -46,6 +46,12 @@ class BloomFilter:
         return BloomFilter(n_bits, n_probes)
 
     def _positions(self, key: bytes):
+        """The k probe positions for ``key`` (kept for tests/debugging).
+
+        The hot paths (:meth:`add`, :meth:`add_many`, :meth:`may_contain`)
+        inline this double-hashing loop instead of consuming a generator:
+        a Python generator frame per probe costs more than the probes.
+        """
         base = fnv1a_64(key)
         h1 = base & 0xFFFFFFFF
         h2 = (base >> 32) | 1  # odd delta => full-period probing
@@ -53,12 +59,49 @@ class BloomFilter:
             yield (h1 + i * h2) % self._n_bits
 
     def add(self, key: bytes) -> None:
-        for pos in self._positions(key):
-            self._bits[pos >> 3] |= 1 << (pos & 7)
+        base = fnv1a_64(key)
+        h2 = (base >> 32) | 1
+        n_bits = self._n_bits
+        bits = self._bits
+        h = base & 0xFFFFFFFF
+        for _ in range(self._n_probes):
+            pos = h % n_bits
+            bits[pos >> 3] |= 1 << (pos & 7)
+            h += h2
+
+    def add_many(self, keys) -> None:
+        """Bulk-insert ``keys``; equivalent to repeated :meth:`add`.
+
+        SSTable builds insert every key of a file at once, so the hash
+        and bit positions are computed in one tight loop with the filter
+        state held in locals (no per-key attribute traffic).
+        """
+        n_bits = self._n_bits
+        n_probes = self._n_probes
+        bits = self._bits
+        hash_fn = fnv1a_64
+        for key in keys:
+            base = hash_fn(key)
+            h2 = (base >> 32) | 1
+            h = base & 0xFFFFFFFF
+            for _ in range(n_probes):
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+                h += h2
 
     def may_contain(self, key: bytes) -> bool:
         """False means *definitely absent*; True means possibly present."""
-        return all(self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key))
+        base = fnv1a_64(key)
+        h2 = (base >> 32) | 1
+        n_bits = self._n_bits
+        bits = self._bits
+        h = base & 0xFFFFFFFF
+        for _ in range(self._n_probes):
+            pos = h % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h += h2
+        return True
 
     @property
     def size_bytes(self) -> int:

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import CompactionError
 from repro.lsm.block_cache import BlockCache
-from repro.lsm.iterators import merge_records
+from repro.lsm.iterators import merge_sorted_lists
 from repro.lsm.layout import StorageLayout
 from repro.lsm.options import DBOptions
 from repro.lsm.record import Record
@@ -320,18 +320,18 @@ class CompactionExecutor:
             level, lower_level, upper_lo, upper_hi, upper_budget, upper_budget
         )
 
-        sources = self._read_inputs(upper_inputs, level)
-        source_levels = [level] * len(upper_inputs)
-        sources.extend(self._read_inputs(lower_inputs, lower_level))
-        source_levels.extend([lower_level] * len(lower_inputs))
+        upper_sources = self._read_inputs(upper_inputs, level)
+        lower_sources = self._read_inputs(lower_inputs, lower_level)
 
-        # Tag each record with its source level so the router can tell a
-        # "retain" (already upper) from a "pull up" (rising from lower).
-        # (user_key, seqno) is globally unique across sources.
-        origin: dict[tuple[bytes, int], int] = {}
-        for records, src_level in zip(sources, source_levels):
-            for record in records:
-                origin[(record.user_key, record.seqno)] = src_level
+        # Merge plain record lists (the sort-based fast path) and recover
+        # each survivor's origin with an id-set membership test instead
+        # of decorating every record with its source level: shadowed
+        # records never need an origin, and ``id(record) in upper_ids``
+        # is a C-level probe. The merged list keeps every record alive
+        # for the loop's duration, so ids cannot be recycled.
+        upper_ids: set[int] = set()
+        for records in upper_sources:
+            upper_ids.update(map(id, records))
 
         upper_writer = _OutputWriter(self, level)
         lower_writer = _OutputWriter(self, lower_level)
@@ -339,20 +339,21 @@ class CompactionExecutor:
         pulled_counter = self.metrics.counter("compaction.records", kind="pulled_up")
         dropped_counter = self.metrics.counter("compaction.records", kind="tombstone_dropped")
         last_key: bytes | None = None
-        for record in merge_records(sources):
+        for record in merge_sorted_lists(upper_sources + lower_sources):
             # Shadowing: the first record per user key (internal order)
             # is the newest version; older ones are dropped here.
-            if record.user_key == last_key:
+            user_key = record.user_key
+            if user_key == last_key:
                 self.stats.shadowed_dropped += 1
                 continue
-            last_key = record.user_key
+            last_key = user_key
+            source_level = level if id(record) in upper_ids else lower_level
 
-            source_level = origin[(record.user_key, record.seqno)]
             route_up = False
             if self._router.route_up(record, source_level):
                 # Up-routing outside the upper input range would violate
                 # L-level disjointness (except into L0, which overlaps).
-                if level == 0 or upper_lo <= record.user_key <= upper_hi:
+                if level == 0 or upper_lo <= user_key <= upper_hi:
                     route_up = True
             if route_up:
                 if source_level == level:

@@ -31,9 +31,15 @@ MAX_SEQNO = (1 << 56) - 1
 _HEADER = struct.Struct("<HIBQ")  # key_len, value_len, kind, seqno
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Record:
-    """One versioned key-value record."""
+    """One versioned key-value record.
+
+    ``slots=True`` matters for throughput: records are the unit of work in
+    block decode, merge, and compaction, and slot access avoids the
+    per-instance ``__dict__`` lookup on the hot attribute reads
+    (``user_key``/``seqno``) those paths hammer.
+    """
 
     user_key: bytes
     seqno: int

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import CorruptionError
-from repro.lsm.block import DataBlockBuilder, decode_block, search_block
+from repro.lsm.block import DataBlock, DataBlockBuilder
 from repro.lsm.block_cache import BlockCache, BlockType
 from repro.lsm.bloom import BloomFilter
 from repro.lsm.record import Record
@@ -119,7 +119,6 @@ class SSTable:
         self._bloom: BloomFilter | None = None
         self._index: list[IndexEntry] | None = None
         self._index_keys: list[bytes] | None = None
-        self._decoded_blocks: dict[int, list[Record]] = {}
 
     @property
     def file_id(self) -> int:
@@ -143,12 +142,6 @@ class SSTable:
     # ------------------------------------------------------------------
     # Block fetch helpers (cache-mediated, latency-charged)
     # ------------------------------------------------------------------
-    def _fetch(self, offset: int, length: int, block_type: BlockType, cache: BlockCache, *, foreground: bool) -> tuple[bytes, float]:
-        def loader() -> tuple[bytes, float]:
-            return self._backend.read(self.file, offset, length, foreground=foreground)
-
-        return cache.get_or_load(self.file_id, offset, block_type, loader)
-
     def _bloom_filter(self, cache: BlockCache, *, foreground: bool = True) -> tuple[BloomFilter, float]:
         # Filter blocks behave like RocksDB's table cache: loaded from
         # the device on first access, then resident in table memory for
@@ -156,33 +149,45 @@ class SSTable:
         if self._bloom is not None:
             cache.record_resident_hit(BlockType.FILTER)
             return self._bloom, DRAM_SPEC.read_time_usec(self.filter_length)
-        data, latency = self._fetch(
-            self.filter_offset, self.filter_length, BlockType.FILTER, cache, foreground=foreground
+
+        def loader() -> tuple[bytes, float]:
+            return self._backend.read(
+                self.file, self.filter_offset, self.filter_length, foreground=foreground
+            )
+
+        bloom, latency = cache.get_or_load_decoded(
+            self.file_id, self.filter_offset, BlockType.FILTER, loader, BloomFilter.decode
         )
-        self._bloom = BloomFilter.decode(data)
-        return self._bloom, latency
+        self._bloom = bloom
+        return bloom, latency
 
     def _index_entries(self, cache: BlockCache, *, foreground: bool = True) -> tuple[list[IndexEntry], float]:
         # Index blocks live in the table cache as well (see above).
         if self._index is not None:
             cache.record_resident_hit(BlockType.INDEX)
             return self._index, DRAM_SPEC.read_time_usec(self.index_length)
-        data, latency = self._fetch(
-            self.index_offset, self.index_length, BlockType.INDEX, cache, foreground=foreground
-        )
-        self._index = decode_index(data)
-        self._index_keys = [entry.last_key for entry in self._index]
-        return self._index, latency
 
-    def _data_block(self, entry: IndexEntry, cache: BlockCache, *, foreground: bool = True) -> tuple[list[Record], float]:
-        data, latency = self._fetch(
-            entry.offset, entry.length, BlockType.DATA, cache, foreground=foreground
+        def loader() -> tuple[bytes, float]:
+            return self._backend.read(
+                self.file, self.index_offset, self.index_length, foreground=foreground
+            )
+
+        entries, latency = cache.get_or_load_decoded(
+            self.file_id, self.index_offset, BlockType.INDEX, loader, decode_index
         )
-        records = self._decoded_blocks.get(entry.offset)
-        if records is None:
-            records = decode_block(data)
-            self._decoded_blocks[entry.offset] = records
-        return records, latency
+        self._index = entries
+        self._index_keys = [entry.last_key for entry in entries]
+        return entries, latency
+
+    def _data_block(self, entry: IndexEntry, cache: BlockCache, *, foreground: bool = True) -> tuple[DataBlock, float]:
+        def loader() -> tuple[bytes, float]:
+            return self._backend.read(
+                self.file, entry.offset, entry.length, foreground=foreground
+            )
+
+        return cache.get_or_load_decoded(
+            self.file_id, entry.offset, BlockType.DATA, loader, DataBlock
+        )
 
     # ------------------------------------------------------------------
     # Point lookup
@@ -203,9 +208,11 @@ class SSTable:
         pos = bisect.bisect_left(self._index_keys, user_key)
         if pos >= len(index):
             return None, latency, False
-        records, block_latency = self._data_block(index[pos], cache, foreground=foreground)
+        block, block_latency = self._data_block(index[pos], cache, foreground=foreground)
         latency += block_latency
-        return search_block(records, user_key), latency, False
+        # Lazy point search: binary-search the encoded buffer through the
+        # restart-point offsets and decode only the candidate record.
+        return block.search(user_key), latency, False
 
     # ------------------------------------------------------------------
     # Scans
@@ -220,9 +227,9 @@ class SSTable:
         assert self._index_keys is not None
         pos = bisect.bisect_left(self._index_keys, user_key)
         for entry in index[pos:]:
-            records, block_latency = self._data_block(entry, cache, foreground=foreground)
+            block, block_latency = self._data_block(entry, cache, foreground=foreground)
             pending_latency += block_latency
-            for record in records:
+            for record in block.records():
                 if record.user_key < user_key:
                     continue
                 yield record, pending_latency
@@ -232,18 +239,12 @@ class SSTable:
         """Sequentially read every record (compaction input scan)."""
         data, latency = self._backend.read(self.file, 0, self.data_length, foreground=foreground)
         records: list[Record] = []
-        pos = 0
         # Blocks are parsed via the index so boundaries are exact.
         index, index_latency = self._index_from_disk(foreground=foreground)
         latency += index_latency
         for entry in index:
-            block = data[entry.offset : entry.offset + entry.length]
-            cached = self._decoded_blocks.get(entry.offset)
-            if cached is None:
-                cached = decode_block(block)
-                self._decoded_blocks[entry.offset] = cached
-            records.extend(cached)
-            pos += entry.length
+            block = DataBlock(data[entry.offset : entry.offset + entry.length])
+            records.extend(block.records())
         return records, latency
 
     def _index_from_disk(self, *, foreground: bool) -> tuple[list[IndexEntry], float]:
@@ -401,8 +402,7 @@ class SSTableBuilder:
             raise ValueError("cannot finish an empty SSTable")
         self._flush_block()
         bloom = BloomFilter.for_capacity(len(self._keys), self._bits_per_key)
-        for key in self._keys:
-            bloom.add(key)
+        bloom.add_many(self._keys)
         filter_block = bloom.encode()
         index_block = encode_index(self._index)
         assert self._smallest is not None and self._largest is not None

@@ -219,6 +219,16 @@ class MetricsRegistry:
         self.max_series_per_metric = max_series_per_metric
         # name -> (kind, labelnames, {label_key: instrument})
         self._metrics: dict[str, tuple[str, frozenset[str], dict[LabelKey, object]]] = {}
+        # Fast handle cache: (kind, name, labels-in-call-order, extra) ->
+        # instrument. Repeated counter()/gauge()/histogram() calls from
+        # the same call site hit this dict directly and skip the
+        # canonicalization (frozenset + sorted label_key) and validation
+        # of the slow path. Misses (first call, or a differing kwarg
+        # order) fall through to _get_or_create, which still enforces
+        # every guard, so invalid re-registrations raise exactly as
+        # before. Two kwarg orders for the same series simply occupy two
+        # cache slots pointing at the same instrument.
+        self._handles: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # Registration / lookup
@@ -256,10 +266,20 @@ class MetricsRegistry:
 
     def counter(self, name: str, **labels) -> Counter:
         """Get or create a counter for one label combination."""
-        return self._get_or_create(name, "counter", Counter, labels)
+        key = ("counter", name, tuple(labels.items()))
+        instrument = self._handles.get(key)
+        if instrument is None:
+            instrument = self._get_or_create(name, "counter", Counter, labels)
+            self._handles[key] = instrument
+        return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
-        return self._get_or_create(name, "gauge", Gauge, labels)
+        key = ("gauge", name, tuple(labels.items()))
+        instrument = self._handles.get(key)
+        if instrument is None:
+            instrument = self._get_or_create(name, "gauge", Gauge, labels)
+            self._handles[key] = instrument
+        return instrument
 
     def histogram(
         self,
@@ -268,7 +288,14 @@ class MetricsRegistry:
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
         **labels,
     ) -> Histogram:
-        return self._get_or_create(name, "histogram", lambda: Histogram(buckets), labels)
+        key = ("histogram", name, tuple(labels.items()), buckets)
+        instrument = self._handles.get(key)
+        if instrument is None:
+            instrument = self._get_or_create(
+                name, "histogram", lambda: Histogram(buckets), labels
+            )
+            self._handles[key] = instrument
+        return instrument
 
     # ------------------------------------------------------------------
     # Queries

@@ -134,3 +134,50 @@ class TestThroughput:
     def test_kops_conversion(self):
         # 1000 ops in one simulated second = 1 kops.
         assert throughput_kops(1000, 1_000_000.0) == pytest.approx(1.0)
+
+
+class TestLatencyRecorderLazySort:
+    def test_summary_correct_after_interleaved_records(self):
+        recorder = LatencyRecorder()
+        recorder.record(5.0)
+        recorder.record(1.0)
+        assert recorder.summary().p50 == 1.0
+        recorder.record(9.0)  # invalidates the cached sort by length
+        summary = recorder.summary()
+        assert summary.p50 == 5.0
+        assert summary.maximum == 9.0
+
+    def test_repeated_summaries_reuse_one_sort(self):
+        recorder = LatencyRecorder()
+        for value in (3.0, 1.0, 2.0):
+            recorder.record(value)
+        first = recorder._sorted_samples()
+        recorder.summary()
+        recorder.percentile(95.0)
+        assert recorder._sorted_samples() is first
+
+    def test_merge_combines_populations(self):
+        a = LatencyRecorder()
+        b = LatencyRecorder()
+        for value in (1.0, 2.0):
+            a.record(value)
+        for value in (10.0, 20.0):
+            b.record(value)
+        a.merge(b)
+        assert len(a) == 4
+        assert a.summary().maximum == 20.0
+        assert len(b) == 2  # source unchanged
+
+    def test_merge_after_summary_invalidates_cache(self):
+        a = LatencyRecorder()
+        a.record(1.0)
+        assert a.summary().maximum == 1.0
+        b = LatencyRecorder()
+        b.record(7.0)
+        a.merge(b)
+        assert a.summary().maximum == 7.0
+
+    def test_merge_self_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.merge(recorder)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import CorruptionError
-from repro.lsm.block import DataBlockBuilder, decode_block, search_block
+from repro.lsm.block import DataBlock, DataBlockBuilder, decode_block, search_block
 from repro.lsm.record import Record, ValueKind
 
 
@@ -98,3 +98,80 @@ class TestSearchBlock:
 
     def test_empty_block_returns_none(self):
         assert search_block([], b"a") is None
+
+
+class TestDataBlock:
+    """The lazy decoded-side handle over the restart-trailer format."""
+
+    def _build(self, n=8):
+        builder = DataBlockBuilder(1 << 20)
+        records = [put(f"key{i:03d}".encode(), i + 1, b"v" * 20) for i in range(n)]
+        for record in records:
+            builder.add(record)
+        return records, builder.finish()
+
+    def test_estimated_bytes_matches_encoding_exactly(self):
+        for count in (0, 1, 7):
+            builder = DataBlockBuilder(1 << 20)
+            for i in range(count):
+                builder.add(put(f"k{i}".encode(), i + 1))
+            estimate = builder.estimated_bytes
+            assert estimate == len(builder.finish())
+
+    def test_trailer_parse_exposes_offsets(self):
+        records, buf = self._build(4)
+        block = DataBlock(buf)
+        assert len(block) == 4
+        assert block.offsets[0] == 0
+        sizes = [record.encoded_size() for record in records]
+        assert list(block.offsets) == [sum(sizes[:i]) for i in range(4)]
+
+    def test_search_matches_full_decode_search(self):
+        records, buf = self._build(8)
+        for record in records:
+            assert DataBlock(buf).search(record.user_key) == search_block(
+                decode_block(buf), record.user_key
+            )
+        assert DataBlock(buf).search(b"key999") is None
+        assert DataBlock(buf).search(b"aaa") is None
+
+    def test_search_decodes_only_the_candidate(self):
+        # Corrupt the *last* record's kind byte: a point search for an
+        # earlier key must still succeed (it never decodes the corrupt
+        # record; key peeks don't touch the kind byte), while a search
+        # that lands on it — and any full decode — must raise.
+        records, buf = self._build(8)
+        block = DataBlock(buf)
+        corrupt = bytearray(buf)
+        corrupt[block.offsets[-1] + 6] = 0x7F  # kind byte offset in header
+        corrupt = bytes(corrupt)
+        assert DataBlock(corrupt).search(b"key000") == records[0]
+        with pytest.raises(CorruptionError):
+            DataBlock(corrupt).search(records[-1].user_key)
+        with pytest.raises(CorruptionError):
+            decode_block(corrupt)
+
+    def test_records_are_memoized(self):
+        _, buf = self._build(4)
+        block = DataBlock(buf)
+        assert block.records() is block.records()
+
+    def test_search_uses_materialized_records_when_present(self):
+        records, buf = self._build(8)
+        block = DataBlock(buf)
+        block.records()
+        for record in records:
+            assert block.search(record.user_key) == record
+
+    def test_bad_restart_offsets_detected(self):
+        _, buf = self._build(4)
+        # Truncate mid-trailer: count still claims 4 records.
+        with pytest.raises(CorruptionError):
+            DataBlock(buf[:10] + buf[-2:])
+
+    def test_search_newest_version_wins(self):
+        builder = DataBlockBuilder(1 << 20)
+        builder.add(put(b"dup", 9, b"new"))
+        builder.add(put(b"dup", 3, b"old"))
+        block = DataBlock(builder.finish())
+        assert block.search(b"dup").value == b"new"

@@ -96,3 +96,102 @@ class TestBlockCache:
         cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"a" * 100))
         cache.get_or_load(2, 0, BlockType.DATA, loader_for(b"b" * 100))
         assert cache.stats.evictions == 1
+
+
+class TestDecodedCache:
+    """get_or_load_decoded: same simulated accounting, zero re-parsing."""
+
+    def test_hit_skips_decoder(self):
+        cache = BlockCache(1024)
+        decodes = []
+
+        def decoder(data):
+            decodes.append(1)
+            return data.upper()
+
+        for _ in range(3):
+            decoded, _ = cache.get_or_load_decoded(
+                1, 0, BlockType.DATA, loader_for(b"abc"), decoder
+            )
+            assert decoded == b"ABC"
+        assert len(decodes) == 1
+        assert cache.stats.hits[BlockType.DATA] == 2
+        assert cache.stats.misses[BlockType.DATA] == 1
+
+    def test_accounting_identical_to_raw_cache(self):
+        raw = BlockCache(1024)
+        decoded = BlockCache(1024)
+        data = b"x" * 100
+        _, miss_raw = raw.get_or_load(1, 0, BlockType.DATA, loader_for(data))
+        _, miss_dec = decoded.get_or_load_decoded(
+            1, 0, BlockType.DATA, loader_for(data), bytes.upper
+        )
+        assert miss_raw == miss_dec
+        _, hit_raw = raw.get_or_load(1, 0, BlockType.DATA, loader_for(data))
+        _, hit_dec = decoded.get_or_load_decoded(
+            1, 0, BlockType.DATA, loader_for(data), bytes.upper
+        )
+        assert hit_raw == hit_dec
+        assert raw.used_bytes == decoded.used_bytes
+        assert raw.stats.hits == decoded.stats.hits
+        assert raw.stats.misses == decoded.stats.misses
+
+    def test_raw_hit_then_decoded_hit_parses_lazily(self):
+        cache = BlockCache(1024)
+        cache.get_or_load(1, 0, BlockType.DATA, loader_for(b"abc"))
+        decodes = []
+
+        def decoder(data):
+            decodes.append(1)
+            return data.upper()
+
+        decoded, _ = cache.get_or_load_decoded(
+            1, 0, BlockType.DATA, loader_for(b"abc"), decoder
+        )
+        assert decoded == b"ABC"
+        assert len(decodes) == 1  # parsed on first decoded access, not before
+        assert cache.stats.hits[BlockType.DATA] == 1
+
+    def test_invalidate_drops_decoded_form(self):
+        cache = BlockCache(1024)
+        decodes = []
+
+        def decoder(data):
+            decodes.append(1)
+            return data
+
+        cache.get_or_load_decoded(1, 0, BlockType.DATA, loader_for(b"abc"), decoder)
+        cache.invalidate_file(1)
+        cache.get_or_load_decoded(1, 0, BlockType.DATA, loader_for(b"abc"), decoder)
+        assert len(decodes) == 2
+
+    def test_zero_capacity_decodes_every_time_but_still_works(self):
+        cache = BlockCache(0)
+        decodes = []
+
+        def decoder(data):
+            decodes.append(1)
+            return data
+
+        for _ in range(2):
+            decoded, latency = cache.get_or_load_decoded(
+                1, 0, BlockType.DATA, loader_for(b"abc", latency=42.0), decoder
+            )
+            assert decoded == b"abc"
+            assert latency == 42.0
+        assert len(decodes) == 2
+        assert len(cache) == 0
+
+    def test_eviction_drops_raw_and_decoded_together(self):
+        cache = BlockCache(100)
+        decodes = []
+
+        def decoder(data):
+            decodes.append(1)
+            return data
+
+        cache.get_or_load_decoded(1, 0, BlockType.DATA, loader_for(b"a" * 60), decoder)
+        cache.get_or_load_decoded(1, 1, BlockType.DATA, loader_for(b"b" * 60), decoder)
+        assert cache.stats.evictions == 1
+        cache.get_or_load_decoded(1, 0, BlockType.DATA, loader_for(b"a" * 60), decoder)
+        assert len(decodes) == 3  # first entry was evicted wholesale

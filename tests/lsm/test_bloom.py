@@ -78,3 +78,50 @@ class TestBloomFilter:
             bloom.add(key)
         restored = BloomFilter.decode(bloom.encode())
         assert all(restored.may_contain(key) for key in keys)
+
+
+class TestBloomPreservation:
+    """Pin down behavior the inlined probe loops must not change.
+
+    The probe positions feed simulated latencies (a false positive costs
+    a wasted block read), so these are preservation tests: bit-exact
+    serialization, ``add_many`` equivalence, and an FP rate that stays
+    near the theoretical bound for the 10 bits/key configuration.
+    """
+
+    def test_serialization_round_trip_is_bit_exact(self):
+        bloom = BloomFilter.for_capacity(500)
+        bloom.add_many(f"rt{i}".encode() for i in range(500))
+        encoded = bloom.encode()
+        assert BloomFilter.decode(encoded).encode() == encoded
+
+    def test_add_many_equals_repeated_add(self):
+        keys = [f"eq{i:05d}".encode() for i in range(1000)]
+        one_by_one = BloomFilter.for_capacity(len(keys))
+        for key in keys:
+            one_by_one.add(key)
+        bulk = BloomFilter.for_capacity(len(keys))
+        bulk.add_many(keys)
+        assert bulk.encode() == one_by_one.encode()
+
+    def test_inlined_probes_match_positions_generator(self):
+        bloom = BloomFilter.for_capacity(100)
+        for i in range(100):
+            key = f"pos{i}".encode()
+            bloom.add(key)
+            for pos in bloom._positions(key):
+                assert bloom._bits[pos >> 3] & (1 << (pos & 7))
+
+    def test_fp_rate_near_theoretical_at_10_bits_per_key(self):
+        n_keys = 2000
+        bloom = BloomFilter.for_capacity(n_keys, bits_per_key=10)
+        bloom.add_many(f"present{i}".encode() for i in range(n_keys))
+        trials = 20_000
+        observed = sum(
+            bloom.may_contain(f"absent{i}".encode()) for i in range(trials)
+        ) / trials
+        theoretical = bloom.false_positive_rate(n_keys)  # ~0.8% at 10 b/k
+        assert observed <= theoretical * 2.0 + 0.002
+        # A far *lower* rate than theory would mean the probes are not
+        # actually independent-ish (e.g. all probes landing on one bit).
+        assert observed >= theoretical / 4.0

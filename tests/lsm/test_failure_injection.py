@@ -61,12 +61,11 @@ class TestSSTableCorruption:
 
     def test_corrupt_data_block_detected_on_decode(self):
         backend, table = build_table()
-        # Destroy the record count of the first block.
+        # Destroy the kind byte of the first record in the first block
+        # (header layout: key_len u16, value_len u32, kind u8, seqno u64).
         payload = bytearray(table.file.data)
-        payload[0] = 0xFF
-        payload[1] = 0xFF
+        payload[6] = 0x7F
         table.file.data = bytes(payload)
-        table._decoded_blocks.clear()
         cache = BlockCache(64 * KIB)
         with pytest.raises(CorruptionError):
             table.get(b"key0000", cache)
@@ -100,7 +99,7 @@ class TestCodecCorruption:
         builder = DataBlockBuilder(4096)
         builder.add(Record(b"k", 1, ValueKind.PUT, b"v"))
         payload = bytearray(builder.finish())
-        payload[2 + 6] = 0x7F  # the kind byte of the first record
+        payload[6] = 0x7F  # the kind byte of the first record
         with pytest.raises(CorruptionError):
             decode_block(bytes(payload))
 
