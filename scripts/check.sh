@@ -22,6 +22,9 @@ else
     echo "== ruff not installed; skipping lint =="
 fi
 
+echo "== docs link check =="
+python scripts/check_links.py
+
 echo "== unit tests (-m 'not bench') =="
 python -m pytest -m "not bench" "$@"
 
@@ -32,6 +35,17 @@ python -m pytest -m "not bench" "$@"
 echo "== micro-smoke (non-gating) =="
 if ! python -m repro.bench micro --quick; then
     echo "micro-smoke failed (non-gating); continuing"
+fi
+
+# Non-gating: a 2-point compaction design-space sweep (leveling vs
+# tiering at one mix, tiny workload) exercising the strategy layer and
+# sweep artifact plumbing end to end. Simulated numbers at this scale
+# are not meaningful; the gating coverage lives in tests/bench/ and
+# tests/lsm/ (see docs/COMPACTION.md).
+echo "== sweep-smoke (non-gating) =="
+if ! python -m repro.bench sweep --shapes leveling tiering --mixes 95 \
+        --records 600 --ops 500; then
+    echo "sweep-smoke failed (non-gating); continuing"
 fi
 
 # Opt-in perf gate: smoke-runs every system, appends a trajectory point

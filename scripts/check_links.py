@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Check relative markdown links in README.md and docs/.
+
+Scans inline links (``[text](target)``) in the repo's top-level README
+and every markdown file under docs/, and fails if a *relative* target
+does not exist on disk. External links (http/https/mailto) and pure
+in-page anchors (``#section``) are skipped; a ``path#anchor`` target is
+checked for the path only.
+
+Usage: python scripts/check_links.py [root]
+Exits 0 when all links resolve, 1 otherwise (listing each broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links, excluding images. Nested parens are not used
+#: in this repo's docs, so a simple no-paren target is sufficient.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def files_to_check(root: Path) -> list[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def broken_links(path: Path, root: Path) -> list[tuple[int, str]]:
+    broken = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if root.resolve() not in resolved.parents and resolved != root.resolve():
+                broken.append((lineno, f"{target} (escapes the repo)"))
+            elif not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    failures = 0
+    checked = 0
+    for path in files_to_check(root):
+        checked += 1
+        for lineno, target in broken_links(path, root):
+            print(f"{path.relative_to(root)}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"check_links: {failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"check_links: OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,10 +25,15 @@ class RocksDBLike(LsmDB):
         **kwargs,
     ) -> None:
         kwargs.setdefault("name", "rocksdb")
+        picker = kwargs.pop("picker", None)
+        if picker is None and (options is None or options.compaction_picker == "default"):
+            # RocksDB's own default; a non-"default" compaction_picker in
+            # the options names an explicit override and wins instead.
+            picker = LargestFilePicker()
         super().__init__(
             layout,
             options,
-            picker=kwargs.pop("picker", None) or LargestFilePicker(),
+            picker=picker,
             router=kwargs.pop("router", None) or CompactDownRouter(),
             **kwargs,
         )

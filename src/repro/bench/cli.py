@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench timeline --series throughput_kops
     python -m repro.bench compare a.json b.json --tolerance 5
     python -m repro.bench micro --quick             # wall-clock primitives
+    python -m repro.bench sweep --out results/sweep # compaction design space
     REPRO_BENCH_SCALE=quick python -m repro.bench run all
 
 Exit codes: 0 on success, 1 when ``compare`` finds a regression beyond
@@ -56,6 +57,7 @@ EXPERIMENTS = {
     "ext-latency-breakdown": ("Extension: read latency by serving source", exp.ext_latency_breakdown, True),
     "ext-caching-granularity": ("Extension: block vs object caching (§3.3)", exp.ext_caching_granularity, True),
     "ext-scan-workload": ("Extension: scan-heavy workload", exp.ext_scan_workload, True),
+    "ext-design-space": ("Extension: compaction design space (shape x mix)", exp.ext_design_space, True),
 }
 
 #: Default series plotted by ``timeline`` when --series is not given.
@@ -67,7 +69,7 @@ DEFAULT_TIMELINE_SERIES = (
     "l0.files",
 )
 
-SUBCOMMANDS = ("run", "report", "timeline", "compare", "micro", "list")
+SUBCOMMANDS = ("run", "report", "timeline", "compare", "micro", "sweep", "list")
 
 
 def _print_listing() -> None:
@@ -81,6 +83,8 @@ def _print_listing() -> None:
     print("  timeline               Time-series view of one run"
           " (see --help) [simulation]")
     print("  compare                Regression-gated diff of two run artifacts")
+    print("  sweep                  Compaction design-space grid"
+          " (shapes x mixes x layouts) [simulation]")
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +229,12 @@ def _cmd_micro(args: argparse.Namespace) -> int:
     return run_micro_command(args)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.sweep import run_sweep
+
+    return run_sweep(args)
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -296,6 +306,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_micro_arguments(micro_p)
     micro_p.set_defaults(func=_cmd_micro)
+
+    from repro.bench.sweep import add_sweep_arguments
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="compaction design-space grid: shapes x mixes x layouts, "
+             "who-wins-where table + per-cell artifacts",
+    )
+    add_sweep_arguments(sweep_p)
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     return parser
 

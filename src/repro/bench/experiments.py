@@ -96,6 +96,9 @@ class RunKey:
     pinning_threshold: float
     prism_overrides: tuple = ()
     row_cache_share: float = 0.0
+    compaction_shape: str = "leveling"
+    compaction_trigger: str = "size-ratio"
+    compaction_picker: str = "default"
 
 
 class ExperimentRunner:
@@ -130,16 +133,22 @@ class ExperimentRunner:
         pinning_threshold: float = 0.10,
         prism_overrides: dict | None = None,
         row_cache_share: float = 0.0,
+        compaction_shape: str = "leveling",
+        compaction_trigger: str = "size-ratio",
+        compaction_picker: str = "default",
     ) -> RunResult:
         """Run one configuration (memoized).
 
         ``prism_overrides`` are extra :class:`PrismOptions` fields for
-        ablation variants (e.g. ``{"up_compaction": False}``).
+        ablation variants (e.g. ``{"up_compaction": False}``). The
+        ``compaction_*`` names select the policy axes of
+        :mod:`repro.lsm.strategy` (defaults: the paper's configuration).
         """
         overrides_key = tuple(sorted((prism_overrides or {}).items()))
         key = RunKey(
             system, layout, read_pct, distribution, zipf_theta,
             cache_disabled, pinning_threshold, overrides_key, row_cache_share,
+            compaction_shape, compaction_trigger, compaction_picker,
         )
         cached = self._results.get(key)
         if cached is not None:
@@ -160,6 +169,9 @@ class ExperimentRunner:
             pinning_threshold=pinning_threshold,
             prism_overrides=dict(prism_overrides or {}),
             row_cache_share=row_cache_share,
+            compaction_shape=compaction_shape,
+            compaction_trigger=compaction_trigger,
+            compaction_picker=compaction_picker,
             clients=self.scale.clients,
             seed=self.scale.seed,
         )
@@ -609,4 +621,42 @@ def ablation_tracker_params(runner: ExperimentRunner | None = None):
             [label, fmt(result.throughput_kops), fmt(result.read_latency.mean),
              result.pinned_records + result.pulled_up_records]
         )
+    return headers, rows
+
+
+def ext_design_space(runner: ExperimentRunner | None = None):
+    """Compaction design space: shape x mix, pinned router under each.
+
+    The policy grid of Sarkar et al. (arXiv:2202.04522) applied to
+    PrismDB: every compaction shape runs with the read-aware pinned
+    router, at a read-heavy and a write-heavy mix, against the leveled
+    RocksDB reference. The throughput winner per mix is starred — the
+    who-wins-where result the `repro-bench sweep` subcommand explores on
+    bigger grids (more mixes, layouts, triggers, pickers).
+    """
+    runner = runner or shared_runner()
+    from repro.lsm.options import COMPACTION_SHAPES
+
+    grid = [("rocksdb", "leveling")] + [
+        ("prismdb", shape) for shape in COMPACTION_SHAPES
+    ]
+    headers = ["system", "shape", "mix (r/w)", "kops", "p99 read (us)", "WA",
+               "pinned"]
+    rows = []
+    for read_pct in (95, 50):
+        results = [
+            runner.run(system, "NNNTQ", read_pct=read_pct,
+                       compaction_shape=shape)
+            for system, shape in grid
+        ]
+        winner = max(range(len(grid)), key=lambda i: results[i].throughput_kops)
+        for i, ((system, shape), result) in enumerate(zip(grid, results)):
+            star = "*" if i == winner else ""
+            rows.append(
+                [system, shape, f"{read_pct}/{100 - read_pct}",
+                 f"{fmt(result.throughput_kops)}{star}",
+                 fmt(result.read_latency.p99),
+                 fmt(result.write_amplification),
+                 result.pinned_records]
+            )
     return headers, rows

@@ -54,6 +54,12 @@ class SystemConfig:
     tracker_fraction: float = 0.10
     #: Extra PrismOptions fields for ablation variants.
     prism_overrides: dict = field(default_factory=dict)
+    #: Compaction policy axes (see repro.lsm.strategy / docs/COMPACTION.md).
+    #: The defaults reproduce the paper's configuration exactly, so the
+    #: baselines' determinism tests are unaffected.
+    compaction_shape: str = "leveling"
+    compaction_trigger: str = "size-ratio"
+    compaction_picker: str = "default"
     clients: int = 8
     seed: int = 0
 
@@ -76,6 +82,9 @@ def build_system(config: SystemConfig, workload: YCSBWorkload) -> LsmDB:
         block_cache_bytes=cache_bytes - row_bytes,
         row_cache_bytes=row_bytes,
         seed=config.seed,
+        compaction_shape=config.compaction_shape,
+        compaction_trigger=config.compaction_trigger,
+        compaction_picker=config.compaction_picker,
     )
     clock = SimClock()
     layout = build_layout(config.layout_code, options, clock)

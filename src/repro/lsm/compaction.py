@@ -1,19 +1,31 @@
-"""Leveled compaction.
+"""Compaction: pluggable policies over one shared executor.
 
 The executor is shared by every system in the reproduction; behaviour is
-specialized through two seams, exactly the two knobs the paper turns:
+specialized through three orthogonal policy axes (the design space of
+Sarkar et al., arXiv:2202.04522 — see docs/COMPACTION.md) plus the
+record-routing seam the paper turns:
 
-* a :class:`CompactionPicker` chooses *which SST file* to compact from an
-  over-full level (classic RocksDB: largest file; PrismDB §4.3: the file
-  with the lowest popularity score), and
-* a :class:`MergeRouter` decides *where each merged record goes* (classic:
-  everything moves down; PrismDB §4.2-4.3: popular keys are pinned to the
-  upper level or pulled up from the lower one).
+* a :class:`~repro.lsm.strategy.CompactionStrategy` — the *shape* axis —
+  decides how runs are arranged per level (leveling, tiering with run
+  stacks, lazy-leveling) and plans whole compaction jobs, consulting a
+  :class:`~repro.lsm.strategy.TriggerPolicy` (*trigger* axis: size
+  ratio, file count, staleness) for when a level is over-full;
+* a :class:`CompactionPicker` — the *picking* axis — chooses *which SST
+  file* a partial (leveled) compaction takes from an over-full level
+  (classic RocksDB: largest file; PrismDB §4.3: the file with the lowest
+  popularity score; also oldest and round-robin); and
+* a :class:`MergeRouter` decides *where each merged record goes*
+  (classic: everything moves down; PrismDB §4.2-4.3: popular keys are
+  pinned to the upper level or pulled up from the lower one). The router
+  composes with every shape.
 
 The router contract keeps the LSM consistency guarantee (§4.4): the
 executor feeds it only the *newest* surviving version of each key among
 the compaction inputs, and up-routing is restricted to the upper input
-key range so level disjointness is preserved.
+key range so level disjointness is preserved where the shape requires
+it. Shapes that merge whole levels (tiering, lazy-leveling) satisfy the
+rule trivially: every version of a key at the upper level participates
+in the job.
 """
 
 from __future__ import annotations
@@ -59,6 +71,30 @@ class OldestFilePicker(CompactionPicker):
         if not files:
             return []
         return [min(files, key=lambda table: table.file_id)]
+
+
+class RoundRobinPicker(CompactionPicker):
+    """Cycle through a level's files in file-id order.
+
+    A per-level cursor remembers the last picked file id; each pick takes
+    the live file with the smallest id strictly above the cursor,
+    wrapping to the smallest id when the cursor passes the end. Every
+    file gets compacted eventually regardless of size or popularity —
+    the fairness baseline of the picking axis.
+    """
+
+    def __init__(self) -> None:
+        self._cursor: dict[int, int] = {}
+
+    def pick_files(self, manifest: LevelManifest, level: int) -> list[SSTable]:
+        files = manifest.files(level)
+        if not files:
+            return []
+        cursor = self._cursor.get(level, -1)
+        above = [table for table in files if table.file_id > cursor]
+        victim = min(above or files, key=lambda table: table.file_id)
+        self._cursor[level] = victim.file_id
+        return [victim]
 
 
 class MergeRouter(abc.ABC):
@@ -131,8 +167,36 @@ class CompactionStats:
         self.per_level_write_bytes[level] = self.per_level_write_bytes.get(level, 0) + n_bytes
 
 
+@dataclass
+class CompactionJob:
+    """One planned compaction, shape-agnostic.
+
+    ``style`` selects the execution path:
+
+    * ``"trivial-move"`` — re-parent ``upper_inputs[0]`` one level down
+      without I/O (leveled shapes only);
+    * ``"leveled"`` — merge upper inputs with the overlapping lower
+      files into disjoint output files at both levels;
+    * ``"tiered"`` — merge the upper inputs among themselves (no lower
+      inputs) and append the output as one new sorted run at the lower
+      level; ``upper_level == lower_level`` marks an in-place run
+      consolidation (tiering's bottom level).
+    """
+
+    style: str
+    upper_level: int
+    lower_level: int
+    upper_inputs: list[SSTable]
+    lower_inputs: list[SSTable]
+    upper_lo: bytes
+    upper_hi: bytes
+    #: Whether tombstones may be dropped from the job's output (true only
+    #: when nothing older than the output can exist below it).
+    drop_tombstones: bool = False
+
+
 class CompactionExecutor:
-    """Plans and runs compactions against one manifest."""
+    """Plans (via its strategy) and runs compactions against one manifest."""
 
     #: Safety cap on jobs per maintenance call; prevents a pathological
     #: pinning threshold from spinning forever (the paper's Fig. 14
@@ -149,6 +213,7 @@ class CompactionExecutor:
         picker: CompactionPicker,
         router: MergeRouter,
         *,
+        strategy=None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -159,9 +224,36 @@ class CompactionExecutor:
         self._cache = cache
         self._picker = picker
         self._router = router
+        if strategy is None:
+            from repro.lsm.strategy import make_strategy
+
+            strategy = make_strategy(options)
+        self.strategy = strategy
         self.stats = CompactionStats()
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NOOP_TRACER
+
+    # Public read-only views for strategy objects (which receive the
+    # executor and must not reach into name-mangled internals).
+    @property
+    def manifest(self) -> LevelManifest:
+        return self._manifest
+
+    @property
+    def options(self) -> DBOptions:
+        return self._options
+
+    @property
+    def layout(self) -> StorageLayout:
+        return self._layout
+
+    @property
+    def picker(self) -> CompactionPicker:
+        return self._picker
+
+    @property
+    def router(self) -> MergeRouter:
+        return self._router
 
     def note_level_write(self, level: int, n_bytes: int) -> None:
         """Account output bytes landing at ``level`` (flush or compaction)."""
@@ -173,7 +265,7 @@ class CompactionExecutor:
         ).inc(n_bytes)
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling (delegated to the strategy)
     # ------------------------------------------------------------------
     def hot_bytes(self, level: int) -> int:
         """Bytes at ``level`` in files carrying a positive popularity score."""
@@ -184,29 +276,12 @@ class CompactionExecutor:
         )
 
     def compaction_score(self, level: int) -> float:
-        """> 1.0 means the level needs compaction (RocksDB-style score).
-
-        Hot (positively-scored) bytes are discounted up to the pin
-        reserve: retained popular data occupies the level without
-        re-triggering compaction of it.
-        """
-        if level >= self._manifest.num_levels - 1:
-            return 0.0  # the bottom level never compacts down
-        if level == 0:
-            return self._manifest.file_count(0) / self._options.l0_compaction_trigger
-        target = self._options.level_target_bytes(level)
-        reserve = int(target * self._options.pin_reserve_fraction)
-        discounted = min(self.hot_bytes(level), reserve)
-        return (self._manifest.level_bytes(level) - discounted) / target
+        """> 1.0 means the level needs compaction (strategy-defined)."""
+        return self.strategy.score(self, level)
 
     def pick_compaction_level(self) -> int | None:
         """The level with the highest score >= 1.0, if any."""
-        best_level, best_score = None, 1.0
-        for level in range(self._manifest.num_levels - 1):
-            score = self.compaction_score(level)
-            if score >= best_score:
-                best_level, best_score = level, score
-        return best_level
+        return self.strategy.pick_level(self)
 
     def maybe_compact(self) -> int:
         """Run compactions until all levels are within target; job count."""
@@ -223,38 +298,36 @@ class CompactionExecutor:
     # Execution
     # ------------------------------------------------------------------
     def run_job(self, level: int) -> None:
-        """Compact ``level`` into ``level + 1``."""
-        if level >= self._manifest.num_levels - 1:
-            raise CompactionError(f"cannot compact bottom level L{level}")
-        if level == 0:
-            upper_inputs = list(self._manifest.files(0))
-        else:
-            upper_inputs = self._picker.pick_files(self._manifest, level)
-        if not upper_inputs:
+        """Plan (strategy) and execute one compaction of ``level``."""
+        job = self.strategy.plan_job(self, level)
+        if job is None:
             return
-        upper_lo = min(table.smallest_key for table in upper_inputs)
-        upper_hi = max(table.largest_key for table in upper_inputs)
-        lower_inputs = self._manifest.overlapping_files(level + 1, upper_lo, upper_hi)
+        self.execute(job)
 
-        if (
-            not lower_inputs
-            and len(upper_inputs) == 1
-            and self._router.allows_trivial_move(upper_inputs[0])
-            and self._layout.tier_for_level(level) is self._layout.tier_for_level(level + 1)
-        ):
+    def execute(self, job: CompactionJob) -> None:
+        """Run a planned :class:`CompactionJob`."""
+        if job.style == "trivial-move":
             # Same tier, nothing to merge: re-parent the file without I/O.
-            table = upper_inputs[0]
-            self._manifest.remove_file(level, table)
-            self._manifest.add_file(level + 1, table)
+            table = job.upper_inputs[0]
+            self._manifest.remove_file(job.upper_level, table)
+            self._manifest.add_file(job.lower_level, table)
             self.stats.trivial_moves += 1
-            self.metrics.counter("compaction.trivial_moves", level=level).inc()
+            self.metrics.counter("compaction.trivial_moves", level=job.upper_level).inc()
             self.tracer.instant(
-                "trivial_move", level=level, file_id=table.file_id,
+                "trivial_move", level=job.upper_level, file_id=table.file_id,
                 bytes=table.size_bytes,
             )
             return
-
-        self._merge(level, upper_inputs, lower_inputs, upper_lo, upper_hi)
+        if job.style == "leveled":
+            self._merge(
+                job.upper_level, job.upper_inputs, job.lower_inputs,
+                job.upper_lo, job.upper_hi,
+            )
+            return
+        if job.style == "tiered":
+            self._merge_tiered(job)
+            return
+        raise CompactionError(f"unknown compaction job style {job.style!r}")
 
     def _read_inputs(self, tables: list[SSTable], level: int) -> list[list[Record]]:
         sources = []
@@ -267,6 +340,20 @@ class CompactionExecutor:
             sources.append(records)
         return sources
 
+    def _job_span(self, name: str, upper_level: int, lower_level: int, inputs: int):
+        """A tracer span plus the device set whose busy time it attributes."""
+        upper_tier = self._layout.tier_for_level(upper_level)
+        lower_tier = self._layout.tier_for_level(lower_level)
+        devices = {id(t.device): t.device for t in (upper_tier, lower_tier)}.values()
+        span = self.tracer.span(
+            name,
+            level=upper_level,
+            tier=upper_tier.name,
+            lower_tier=lower_tier.name,
+            inputs=inputs,
+        )
+        return span, devices
+
     def _merge(
         self,
         level: int,
@@ -275,18 +362,10 @@ class CompactionExecutor:
         upper_lo: bytes,
         upper_hi: bytes,
     ) -> None:
-        lower_level = level + 1
-        upper_tier = self._layout.tier_for_level(level)
-        lower_tier = self._layout.tier_for_level(lower_level)
-        devices = {id(t.device): t.device for t in (upper_tier, lower_tier)}.values()
-        busy_before = sum(device.stats.busy_usec for device in devices)
-        span = self.tracer.span(
-            "compaction",
-            level=level,
-            tier=upper_tier.name,
-            lower_tier=lower_tier.name,
-            inputs=len(upper_inputs) + len(lower_inputs),
+        span, devices = self._job_span(
+            "compaction", level, level + 1, len(upper_inputs) + len(lower_inputs)
         )
+        busy_before = sum(device.stats.busy_usec for device in devices)
         with span:
             self._merge_inner(level, upper_inputs, lower_inputs, upper_lo, upper_hi)
             # Background I/O returns zero foreground latency, so the
@@ -378,15 +457,107 @@ class CompactionExecutor:
         for table in lower_inputs:
             self._manifest.remove_file(lower_level, table)
         for table in new_upper:
-            self._manifest.add_file(level, table)
+            self._add_output(level, table)
         for table in new_lower:
-            self._manifest.add_file(lower_level, table)
+            self._add_output(lower_level, table)
         for table in upper_inputs + lower_inputs:
             self._cache.invalidate_file(table.file_id)
             self._backend.delete_file(table.file)
 
         self.stats.compactions += 1
         self.metrics.counter("compaction.count", level=level).inc()
+
+    def _add_output(self, level: int, table: SSTable) -> None:
+        """Install one leveled-merge output file at ``level``.
+
+        On a leveled level the outputs are disjoint with the survivors by
+        construction. On a run-stacked level (lazy-leveling's upper input
+        level, when the router retains records there) each output file
+        becomes its own newest run — the outputs of one merge are
+        mutually disjoint, so probe cost stays one file per run.
+        """
+        self._manifest.add_file(level, table)
+
+    def _merge_tiered(self, job: CompactionJob) -> None:
+        span, devices = self._job_span(
+            "compaction", job.upper_level, job.lower_level, len(job.upper_inputs)
+        )
+        busy_before = sum(device.stats.busy_usec for device in devices)
+        with span:
+            self._merge_tiered_inner(job)
+            span.set_duration(
+                sum(device.stats.busy_usec for device in devices) - busy_before
+            )
+
+    def _merge_tiered_inner(self, job: CompactionJob) -> None:
+        upper_level, lower_level = job.upper_level, job.lower_level
+        consolidation = upper_level == lower_level
+        if not consolidation:
+            # All of the upper level's runs are inputs, so the retention
+            # budget is the full allowance (target + pin reserve). Pulls
+            # are impossible in a tiered job — there are no lower inputs
+            # — so the pull budget is zero.
+            target = self._options.level_target_bytes(upper_level)
+            allowance = int(target * (1.0 + self._options.pin_reserve_fraction))
+            input_bytes = sum(table.size_bytes for table in job.upper_inputs)
+            remaining = self._manifest.level_bytes(upper_level) - input_bytes
+            upper_budget = max(0, allowance - remaining)
+            self._router.begin_job(
+                upper_level, lower_level, job.upper_lo, job.upper_hi,
+                upper_budget, 0,
+            )
+
+        sources = self._read_inputs(job.upper_inputs, upper_level)
+        upper_writer = _OutputWriter(self, upper_level)
+        lower_writer = _OutputWriter(self, lower_level)
+        pinned_counter = self.metrics.counter("compaction.records", kind="pinned")
+        dropped_counter = self.metrics.counter("compaction.records", kind="tombstone_dropped")
+        last_key: bytes | None = None
+        for record in merge_sorted_lists(sources):
+            user_key = record.user_key
+            if user_key == last_key:
+                self.stats.shadowed_dropped += 1
+                continue
+            last_key = user_key
+            # Every record comes from the upper level and the job spans
+            # the whole level, so the §4.4 range restriction is trivially
+            # satisfied; routing is a pure retain-or-sink choice.
+            if not consolidation and self._router.route_up(record, upper_level):
+                self.stats.records_pinned += 1
+                pinned_counter.inc()
+                upper_writer.add(record)
+                continue
+            if record.is_tombstone and job.drop_tombstones:
+                self.stats.tombstones_dropped += 1
+                dropped_counter.inc()
+                continue
+            lower_writer.add(record)
+
+        new_upper = upper_writer.finish()
+        new_lower = lower_writer.finish()
+
+        for table in job.upper_inputs:
+            self._manifest.remove_file(upper_level, table)
+        if new_upper:
+            self._install_run(upper_level, new_upper)
+        if new_lower:
+            self._install_run(lower_level, new_lower)
+        for table in job.upper_inputs:
+            self._cache.invalidate_file(table.file_id)
+            self._backend.delete_file(table.file)
+
+        self.stats.compactions += 1
+        self.metrics.counter("compaction.count", level=upper_level).inc()
+
+    def _install_run(self, level: int, tables: list[SSTable]) -> None:
+        """Install a merge output as one new sorted run at ``level``."""
+        if self._manifest.is_run_stacked(level):
+            self._manifest.add_run(level, tables)
+            return
+        # L0 (retained records of an L0->L1 tiered job) or a leveled
+        # level: fall back to per-file adds.
+        for table in tables:
+            self._manifest.add_file(level, table)
 
     def make_builder(self, level: int) -> SSTableBuilder:
         """A builder writing to ``level``'s tier with router-driven scoring."""

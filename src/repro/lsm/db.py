@@ -3,8 +3,12 @@
 :class:`LsmDB` is the engine every system in the reproduction runs on:
 vanilla RocksDB-style behaviour falls out of the default picker/router,
 PrismDB plugs in its read-aware picker/router, and Mutant wraps the same
-engine with a file-migration layer. All reads and writes return simulated
-latencies; the harness's closed-loop runner turns those into throughput.
+engine with a file-migration layer. Compaction *shape* and *trigger* are
+a third seam: ``DBOptions.compaction_shape`` / ``compaction_trigger``
+select a :class:`~repro.lsm.strategy.CompactionStrategy` (leveling by
+default; tiering and lazy-leveling stack multiple sorted runs per
+level). All reads and writes return simulated latencies; the harness's
+closed-loop runner turns those into throughput.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.lsm.options import DBOptions
 from repro.lsm.record import Record, ValueKind
 from repro.lsm.row_cache import RowCache
 from repro.lsm.sstable import SSTable, SSTableBuilder
+from repro.lsm.strategy import CompactionStrategy, make_picker, make_strategy
 from repro.lsm.version import LevelManifest
 from repro.lsm.wal import WriteAheadLog
 from repro.obs import MetricsRegistry, Tracer
@@ -105,6 +110,7 @@ class LsmDB:
         backend: StorageBackend | None = None,
         picker: CompactionPicker | None = None,
         router: MergeRouter | None = None,
+        strategy: CompactionStrategy | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         name: str = "lsm",
@@ -131,8 +137,18 @@ class LsmDB:
         self.row_cache = RowCache(self.options.row_cache_bytes)
         if self.options.row_cache_bytes:
             self.row_cache.bind_observability(self.metrics)
-        self.manifest = LevelManifest(self.options.num_levels)
-        self.picker = picker or LargestFilePicker()
+        #: The compaction shape+trigger composite; an explicit instance
+        #: wins, otherwise DBOptions.compaction_shape/_trigger select one.
+        self.strategy = strategy or make_strategy(self.options)
+        self.manifest = LevelManifest(
+            self.options.num_levels,
+            run_stacked_levels=self.strategy.run_stacked_levels(self.options),
+        )
+        #: Picker precedence: explicit instance, then the
+        #: DBOptions.compaction_picker name, then the classic default.
+        self.picker = (
+            picker or make_picker(self.options.compaction_picker) or LargestFilePicker()
+        )
         self.router = router or CompactDownRouter()
         self.executor = CompactionExecutor(
             self.backend,
@@ -142,6 +158,7 @@ class LsmDB:
             self.cache,
             self.picker,
             self.router,
+            strategy=self.strategy,
             metrics=self.metrics,
             tracer=self.tracer,
         )
@@ -243,6 +260,7 @@ class LsmDB:
             backend=self.backend,
             picker=self.picker,
             router=self.router,
+            strategy=self.strategy,
             name=self.name,
         )
 
@@ -437,7 +455,14 @@ class LsmDB:
             if table.largest_key >= start_key:
                 sources.append(charged(table.iter_from(start_key, self.cache)))
         for level in range(1, self.manifest.num_levels):
-            sources.append(charged(level_iter(self.manifest.files(level))))
+            if self.manifest.is_run_stacked(level):
+                # Runs within a stacked level overlap each other, so each
+                # run needs its own cursor (files *within* a run are
+                # disjoint and can share one, like a leveled level).
+                for run in self.manifest.runs(level):
+                    sources.append(charged(level_iter(run)))
+            else:
+                sources.append(charged(level_iter(self.manifest.files(level))))
         items: list[tuple[bytes, bytes]] = []
         for record in visible_records(merge_records(sources)):
             if len(items) >= count:
@@ -536,9 +561,33 @@ class LsmDB:
         any user key, *every* version at a deeper level is older than
         *every* version at a shallower level. We track the minimum seqno
         seen at shallower levels and require each level's maximum to stay
-        below it.
+        below it. Run-stacked levels get the same rule *within* the
+        level, run by run: point reads probe the newest run first and
+        stop at the first hit, so a newer run must never hold an older
+        version of a key than a run beneath it.
         """
         self.manifest.check_invariants()
+        for level in range(self.manifest.num_levels):
+            if not self.manifest.is_run_stacked(level):
+                continue
+            min_seqno_newer: dict[bytes, int] = {}
+            for run in self.manifest.runs(level):  # newest first
+                run_versions: dict[bytes, tuple[int, int]] = {}
+                for table in run:
+                    records, _ = table.read_all_records(foreground=False)
+                    for record in records:
+                        key = record.user_key
+                        lo, hi = run_versions.get(key, (record.seqno, record.seqno))
+                        run_versions[key] = (min(lo, record.seqno), max(hi, record.seqno))
+                for user_key, (lo, hi) in run_versions.items():
+                    newer = min_seqno_newer.get(user_key)
+                    if newer is not None and hi >= newer:
+                        raise AssertionError(
+                            f"consistency violation: key {user_key!r} version "
+                            f"seqno {hi} at L{level} is not older than seqno "
+                            f"{newer} in a newer run of the same level"
+                        )
+                    min_seqno_newer[user_key] = lo if newer is None else min(newer, lo)
         min_seqno_above: dict[bytes, int] = {}
         for level in range(self.manifest.num_levels):
             level_min: dict[bytes, int] = {}

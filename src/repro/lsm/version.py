@@ -1,30 +1,55 @@
 """The level manifest: which SSTables live at which level.
 
 L0 files may overlap each other and are ordered newest-first (a point
-read must consult them in that order). L1 and deeper hold
-pairwise-disjoint files kept sorted by smallest key, so a point read
-touches at most one file per level. ``check_invariants`` verifies both
-structural rules plus the LSM consistency guarantee the paper's pinned
-compaction must preserve: for any user key, versions are ordered
-newest-at-the-top across levels.
+read must consult them in that order). Deeper levels come in two
+flavours, chosen per level at construction time by the compaction
+*shape* (see ``repro.lsm.strategy``):
+
+* **Leveled** (the default): the level holds one sorted run of
+  pairwise-disjoint files kept sorted by smallest key, so a point read
+  touches at most one file per level.
+* **Run-stacked** (tiering / lazy-leveling): the level holds a stack of
+  sorted runs, newest first. Files *within* a run are disjoint and
+  key-sorted; *across* runs they may overlap, so a point read probes at
+  most one file per run, newest run first.
+
+``check_invariants`` verifies the structural rules of both flavours plus
+the LSM consistency guarantee the paper's pinned compaction must
+preserve: for any user key, versions are ordered newest-at-the-top
+across levels.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import CompactionError
 from repro.lsm.sstable import SSTable
 
 
 class LevelManifest:
-    """Mutable mapping of levels to SSTable lists."""
+    """Mutable mapping of levels to SSTable lists (or run stacks)."""
 
-    def __init__(self, num_levels: int) -> None:
+    def __init__(
+        self, num_levels: int, *, run_stacked_levels: Iterable[int] = ()
+    ) -> None:
         if num_levels < 2:
             raise ValueError(f"need at least two levels: {num_levels}")
         self._levels: list[list[SSTable]] = [[] for _ in range(num_levels)]
+        self._stacked = frozenset(run_stacked_levels)
+        for level in self._stacked:
+            if not 1 <= level < num_levels:
+                raise ValueError(
+                    f"run-stacked level out of range: {level} "
+                    f"(L0 is always a stack of overlapping files)"
+                )
+        #: Run stacks for stacked levels, newest run first. The flat
+        #: ``_levels`` view is kept in sync (run-major, newest first) so
+        #: size/count queries work identically for both flavours.
+        self._runs: dict[int, list[list[SSTable]]] = {
+            level: [] for level in self._stacked
+        }
         #: Optional observer with record_add/record_remove(level, file_id),
         #: used to persist version edits to the MANIFEST log.
         self.observer = None
@@ -33,9 +58,35 @@ class LevelManifest:
     def num_levels(self) -> int:
         return len(self._levels)
 
+    def is_run_stacked(self, level: int) -> bool:
+        """Whether ``level`` holds a stack of possibly-overlapping runs."""
+        return level in self._stacked
+
     def files(self, level: int) -> list[SSTable]:
-        """The file list of a level (L0 newest-first; L1+ key-sorted)."""
+        """The file list of a level.
+
+        L0 is newest-first; leveled levels are key-sorted; run-stacked
+        levels are run-major with the newest run first.
+        """
         return self._levels[level]
+
+    def runs(self, level: int) -> list[list[SSTable]]:
+        """The level as a list of sorted runs, newest run first.
+
+        Run-stacked levels return their stack; L0 treats every file as
+        its own single-file run (files overlap freely there); a leveled
+        level is one run (or none when empty).
+        """
+        if level in self._stacked:
+            return self._runs[level]
+        files = self._levels[level]
+        if level == 0:
+            return [[table] for table in files]
+        return [files] if files else []
+
+    def run_count(self, level: int) -> int:
+        """Number of sorted runs at ``level`` (L0: the file count)."""
+        return len(self.runs(level))
 
     def all_files(self) -> Iterator[tuple[int, SSTable]]:
         for level, files in enumerate(self._levels):
@@ -63,6 +114,14 @@ class LevelManifest:
     # Mutation
     # ------------------------------------------------------------------
     def add_file(self, level: int, table: SSTable) -> None:
+        if level in self._stacked:
+            # Each directly-added file forms its own newest run (mirrors
+            # L0 semantics; compaction outputs use add_run instead).
+            self._runs[level].insert(0, [table])
+            self._reflatten(level)
+            if self.observer is not None:
+                self.observer.record_add(level, table.file_id)
+            return
         files = self._levels[level]
         if level == 0:
             files.insert(0, table)  # newest first
@@ -86,7 +145,46 @@ class LevelManifest:
         if self.observer is not None:
             self.observer.record_add(level, table.file_id)
 
+    def add_run(self, level: int, tables: list[SSTable]) -> None:
+        """Push ``tables`` as the newest sorted run of a stacked level.
+
+        The run must be internally key-sorted and pairwise disjoint (a
+        compaction output always is); overlap with *other* runs at the
+        level is the point of run stacking and is allowed.
+        """
+        if level not in self._stacked:
+            raise CompactionError(
+                f"L{level} is leveled; add_run only applies to run-stacked levels"
+            )
+        if not tables:
+            return
+        for left, right in zip(tables, tables[1:]):
+            if left.largest_key >= right.smallest_key:
+                raise CompactionError(
+                    f"L{level}: run files {left.file_id} and {right.file_id} "
+                    f"out of order or overlapping"
+                )
+        self._runs[level].insert(0, list(tables))
+        self._reflatten(level)
+        if self.observer is not None:
+            for table in tables:
+                self.observer.record_add(level, table.file_id)
+
     def remove_file(self, level: int, table: SSTable) -> None:
+        if level in self._stacked:
+            for run in self._runs[level]:
+                if table in run:
+                    run.remove(table)
+                    break
+            else:
+                raise CompactionError(
+                    f"file {table.file_id} not present at L{level}"
+                )
+            self._runs[level] = [run for run in self._runs[level] if run]
+            self._reflatten(level)
+            if self.observer is not None:
+                self.observer.record_remove(level, table.file_id)
+            return
         try:
             self._levels[level].remove(table)
         except ValueError as exc:
@@ -96,14 +194,32 @@ class LevelManifest:
         if self.observer is not None:
             self.observer.record_remove(level, table.file_id)
 
+    def _reflatten(self, level: int) -> None:
+        self._levels[level] = [
+            table for run in self._runs[level] for table in run
+        ]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def candidates_for_key(self, level: int, user_key: bytes) -> list[SSTable]:
-        """Files at ``level`` that may contain ``user_key``, probe order."""
+        """Files at ``level`` that may contain ``user_key``, probe order.
+
+        L0 probes every overlapping file newest-first; a leveled level
+        has at most one candidate; a run-stacked level has at most one
+        candidate per run, newest run first.
+        """
         files = self._levels[level]
         if level == 0:
             return [table for table in files if table.contains_key_range(user_key)]
+        if level in self._stacked:
+            candidates = []
+            for run in self._runs[level]:
+                keys = [table.largest_key for table in run]
+                pos = bisect.bisect_left(keys, user_key)
+                if pos < len(run) and run[pos].contains_key_range(user_key):
+                    candidates.append(run[pos])
+            return candidates
         keys = [table.largest_key for table in files]
         pos = bisect.bisect_left(keys, user_key)
         if pos < len(files) and files[pos].contains_key_range(user_key):
@@ -120,16 +236,25 @@ class LevelManifest:
     def check_invariants(self) -> None:
         """Raise :class:`CompactionError` on any structural violation."""
         for level in range(1, self.num_levels):
-            files = self._levels[level]
-            for table in files:
-                if table.smallest_key > table.largest_key:
-                    raise CompactionError(
-                        f"L{level} file {table.file_id} has inverted key range"
-                    )
-            for left, right in zip(files, files[1:]):
-                if left.smallest_key > right.smallest_key:
-                    raise CompactionError(f"L{level} files out of order")
-                if left.largest_key >= right.smallest_key:
-                    raise CompactionError(
-                        f"L{level} files {left.file_id} and {right.file_id} overlap"
-                    )
+            if level in self._stacked:
+                for run in self._runs[level]:
+                    self._check_run(level, run)
+                continue
+            self._check_run(level, self._levels[level], disjoint_required=True)
+
+    @staticmethod
+    def _check_run(
+        level: int, files: list[SSTable], *, disjoint_required: bool = True
+    ) -> None:
+        for table in files:
+            if table.smallest_key > table.largest_key:
+                raise CompactionError(
+                    f"L{level} file {table.file_id} has inverted key range"
+                )
+        for left, right in zip(files, files[1:]):
+            if left.smallest_key > right.smallest_key:
+                raise CompactionError(f"L{level} files out of order")
+            if disjoint_required and left.largest_key >= right.smallest_key:
+                raise CompactionError(
+                    f"L{level} files {left.file_id} and {right.file_id} overlap"
+                )
