@@ -48,6 +48,31 @@ if ! python -m repro.bench sweep --shapes leveling tiering --mixes 95 \
     echo "sweep-smoke failed (non-gating); continuing"
 fi
 
+# Non-gating: latency-attribution smoke. Two tiny seeded runs saved
+# with --attribution, rendered and diffed by `repro.bench explain`.
+# Asserts the plumbing end to end (artifact schema v2, attribution
+# block, table rendering); the numbers themselves are covered by
+# deterministic tests in tests/bench/test_explain.py.
+echo "== explain-smoke (non-gating) =="
+explain_smoke() {
+    local dir
+    dir=$(mktemp -d)
+    python -m repro.bench report --records 600 --ops 800 --seed 7 \
+        --attribution --save "$dir/a.json" >/dev/null &&
+    python -m repro.bench report --records 600 --ops 800 --seed 21 \
+        --attribution --save "$dir/b.json" >/dev/null &&
+    python -m repro.bench explain "$dir/a.json" \
+        | grep "component/tier" >/dev/null &&
+    python -m repro.bench explain "$dir/a.json" "$dir/b.json" \
+        | grep "of the delta is explained" >/dev/null
+    local status=$?
+    rm -rf "$dir"
+    return $status
+}
+if ! explain_smoke; then
+    echo "explain-smoke failed (non-gating); continuing"
+fi
+
 # Opt-in perf gate: smoke-runs every system, appends a trajectory point
 # to BENCH_SMOKE.json, and fails on regressions beyond tolerance vs the
 # committed baselines. Enable with REPRO_PERF_GATE=1; tune the allowed

@@ -115,13 +115,13 @@ class MutantDB(LsmDB):
     # Epoch scheduling: piggybacked on client operations, since the
     # simulation has no free-running threads.
     # ------------------------------------------------------------------
-    def get(self, user_key: bytes) -> ReadResult:
+    def get(self, user_key: bytes, *, ctx=None) -> ReadResult:
         self._maybe_run_epoch()
-        return super().get(user_key)
+        return super().get(user_key, ctx=ctx)
 
-    def _write(self, record) -> WriteResult:
+    def _write(self, record, ctx=None) -> WriteResult:
         self._maybe_run_epoch()
-        return super()._write(record)
+        return super()._write(record, ctx)
 
     def _maybe_run_epoch(self) -> None:
         if self.clock.now - self._last_epoch_usec >= self.mutant_options.epoch_usec:

@@ -10,6 +10,8 @@ Usage::
     python -m repro.bench report --save run.json    # persist a run artifact
     python -m repro.bench timeline --series throughput_kops
     python -m repro.bench compare a.json b.json --tolerance 5
+    python -m repro.bench explain run.json         # latency attribution table
+    python -m repro.bench explain a.json b.json    # decompose the p99 delta
     python -m repro.bench micro --quick             # wall-clock primitives
     python -m repro.bench sweep --out results/sweep # compaction design space
     REPRO_BENCH_SCALE=quick python -m repro.bench run all
@@ -69,7 +71,7 @@ DEFAULT_TIMELINE_SERIES = (
     "l0.files",
 )
 
-SUBCOMMANDS = ("run", "report", "timeline", "compare", "micro", "sweep", "list")
+SUBCOMMANDS = ("run", "report", "timeline", "compare", "explain", "micro", "sweep", "list")
 
 
 def _print_listing() -> None:
@@ -83,6 +85,8 @@ def _print_listing() -> None:
     print("  timeline               Time-series view of one run"
           " (see --help) [simulation]")
     print("  compare                Regression-gated diff of two run artifacts")
+    print("  explain                Per-request latency attribution: render one"
+          " artifact or diff two")
     print("  sweep                  Compaction design-space grid"
           " (shapes x mixes x layouts) [simulation]")
 
@@ -223,6 +227,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return run_compare(args)
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.bench.explain import run_explain
+
+    return run_explain(args)
+
+
 def _cmd_micro(args: argparse.Namespace) -> int:
     from repro.bench.micro import run_micro_command
 
@@ -299,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_compare_arguments(compare_p)
     compare_p.set_defaults(func=_cmd_compare)
+
+    from repro.bench.explain import add_explain_arguments
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="render one artifact's latency attribution or diff two",
+    )
+    add_explain_arguments(explain_p)
+    explain_p.set_defaults(func=_cmd_explain)
 
     micro_p = sub.add_parser(
         "micro",

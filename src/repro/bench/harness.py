@@ -25,6 +25,7 @@ from repro.lsm.block_cache import BlockType
 from repro.lsm.db import LsmDB
 from repro.lsm.layout import build_layout
 from repro.lsm.options import DBOptions, options_for_db_size
+from repro.obs.attribution import LatencyAttribution
 from repro.obs.timeline import TimelineSampler
 from repro.storage.endurance import device_lifetime_seconds
 from repro.workloads.ycsb import OpKind, YCSBConfig, YCSBWorkload
@@ -146,6 +147,14 @@ class RunResult:
     #: JSON-safe :meth:`~repro.obs.TimelineSampler.to_dict` export when
     #: the run sampled a timeline; empty dict otherwise.
     timeline: dict = field(default_factory=dict)
+    #: JSON-safe :meth:`~repro.obs.LatencyAttribution.to_dict` export
+    #: when the run attributed per-request latency (schema 2); empty
+    #: dict otherwise. See docs/OBSERVABILITY.md.
+    attribution: dict = field(default_factory=dict)
+    #: Schema version of the artifact this result was loaded from (or
+    #: the current schema for freshly built results). ``repro-bench
+    #: compare``/``explain`` use it to detect mixed-version comparisons.
+    schema_version: int = 2
 
     @property
     def total_io_read_bytes(self) -> int:
@@ -159,7 +168,10 @@ class RunResult:
     # Persistence: whole runs as JSON artifacts
     # ------------------------------------------------------------------
     #: Artifact schema version; bump on incompatible layout changes.
-    SCHEMA = 1
+    #: Schema 2 adds the ``attribution`` block (per-request latency
+    #: provenance); schema-1 artifacts still load, with it defaulting to
+    #: empty (see :meth:`from_json`).
+    SCHEMA = 2
 
     def to_json(self) -> dict:
         """A strictly JSON-safe dict that round-trips via :meth:`from_json`.
@@ -223,16 +235,24 @@ class RunResult:
             "storage_cost_dollars": self.storage_cost_dollars,
             "metrics": self.metrics,
             "timeline": self.timeline,
+            "attribution": self.attribution,
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "RunResult":
-        """Rebuild a :class:`RunResult` from :meth:`to_json` output."""
+        """Rebuild a :class:`RunResult` from :meth:`to_json` output.
+
+        Accepts the current schema (2) and, as a compatibility shim,
+        schema-1 artifacts written before per-request attribution
+        existed — those load with ``attribution`` empty and
+        ``schema_version`` set to 1 so the compare/explain tooling can
+        detect mixed-version comparisons.
+        """
         schema = data.get("schema")
-        if schema != cls.SCHEMA:
+        if schema not in (1, cls.SCHEMA):
             raise ConfigError(
                 f"unsupported run-artifact schema {schema!r} "
-                f"(this build reads schema {cls.SCHEMA})"
+                f"(this build reads schemas 1-{cls.SCHEMA})"
             )
 
         def summary(d: dict) -> LatencySummary:
@@ -287,6 +307,8 @@ class RunResult:
             storage_cost_dollars=data["storage_cost_dollars"],
             metrics=data["metrics"],
             timeline=data.get("timeline", {}),
+            attribution=data.get("attribution", {}),
+            schema_version=schema,
         )
 
     def save(self, path: str) -> None:
@@ -312,6 +334,8 @@ class WorkloadRunner:
         clients: int = 8,
         sample_interval_ms: float | None = None,
         timeline_capacity: int = 4096,
+        attribution_sample_every: int | None = None,
+        slow_op_k: int = 8,
     ) -> None:
         if clients < 1:
             raise ConfigError("clients must be >= 1")
@@ -350,6 +374,37 @@ class WorkloadRunner:
                     "l0.files": lambda: db.l0_file_count,
                 },
             ).attach()
+        #: Per-request latency provenance: pass ``attribution_sample_every``
+        #: to break every N-th measured op's latency down by
+        #: (component, tier) and retain the ``slow_op_k`` slowest ops
+        #: with full span trees + an LSM state snapshot. Off by default —
+        #: the per-op OpContext allocation is one branch when disabled.
+        self.attribution: LatencyAttribution | None = None
+        if attribution_sample_every is not None:
+            if attribution_sample_every < 1:
+                raise ConfigError(
+                    f"attribution_sample_every must be >= 1: {attribution_sample_every}"
+                )
+            self.attribution = LatencyAttribution(
+                seed=db.options.seed,
+                sample_every=attribution_sample_every,
+                slow_k=slow_op_k,
+            )
+            self.attribution.state_fn = self._lsm_state_snapshot
+
+    def _lsm_state_snapshot(self) -> dict:
+        """LSM shape at the moment a slow op is captured (JSON-safe)."""
+        db = self.db
+        return {
+            "clock_usec": db.clock.now,
+            "memtable_bytes": db.memtable_bytes,
+            "l0_files": db.l0_file_count,
+            "levels": db.level_summary(),
+            "backlog_bytes": {
+                tier.name: tier.device.backlog_bytes for tier in db.layout.tiers
+            },
+            "compactions": db.executor.stats.compactions,
+        }
 
     def _mark_phase(self, phase: str) -> None:
         if self.sampler is not None:
@@ -390,9 +445,11 @@ class WorkloadRunner:
         """Transaction phase; returns simulated elapsed usec."""
         start = self.db.clock.now
         self._mark_phase("run")
+        attr = self.attribution
         for request in workload.run_stream():
             if request.kind == OpKind.READ:
-                result = self.db.get(request.key)
+                ctx = attr.begin("read") if attr is not None else None
+                result = self.db.get(request.key, ctx=ctx)
                 latency = result.latency_usec
                 self.read_latency.record(latency)
                 bucket = self.read_latency_by_source.setdefault(
@@ -402,13 +459,19 @@ class WorkloadRunner:
                 self._op_hist["read"].observe(latency)
                 self._observe_read(result.served_by, latency)
             elif request.kind in (OpKind.UPDATE, OpKind.INSERT):
-                latency = self.db.put(request.key, request.value).latency_usec
+                ctx = attr.begin("update") if attr is not None else None
+                latency = self.db.put(request.key, request.value, ctx=ctx).latency_usec
                 self.update_latency.record(latency)
                 self._op_hist["update"].observe(latency)
             else:
-                latency = self.db.scan(request.key, request.scan_length).latency_usec
+                ctx = attr.begin("scan") if attr is not None else None
+                latency = self.db.scan(
+                    request.key, request.scan_length, ctx=ctx
+                ).latency_usec
                 self.scan_latency.record(latency)
                 self._op_hist["scan"].observe(latency)
+            if ctx is not None:
+                attr.observe(ctx, latency)
             self._ops_run += 1
             self.db.clock.advance(latency / self.clients)
         return self.db.clock.now - start
@@ -471,6 +534,9 @@ class WorkloadRunner:
             storage_cost_dollars=db.layout.total_cost_dollars(),
             metrics=db.metrics.snapshot(),
             timeline=self.sampler.to_dict() if self.sampler is not None else {},
+            attribution=(
+                self.attribution.to_dict() if self.attribution is not None else {}
+            ),
         )
 
 
@@ -480,16 +546,24 @@ def run_experiment(
     *,
     label: str | None = None,
     sample_interval_ms: float | None = None,
+    attribution_sample_every: int | None = None,
+    slow_op_k: int = 8,
 ) -> RunResult:
     """Convenience wrapper: build, load, run, snapshot.
 
     ``sample_interval_ms`` turns on timeline sampling for the whole run
     (load, warmup and measured phases, attributed via phase markers).
+    ``attribution_sample_every`` turns on per-request latency
+    attribution for the measured phase (1 = every op).
     """
     workload = YCSBWorkload(workload_config)
     db = build_system(config, workload)
     runner = WorkloadRunner(
-        db, clients=config.clients, sample_interval_ms=sample_interval_ms
+        db,
+        clients=config.clients,
+        sample_interval_ms=sample_interval_ms,
+        attribution_sample_every=attribution_sample_every,
+        slow_op_k=slow_op_k,
     )
     runner.load(workload)
     if workload_config.warmup_operations > 0:

@@ -299,6 +299,55 @@ def _bench_metrics_counter():
     return op, False
 
 
+def _make_attribution_db():
+    """A small pre-loaded DB whose gets mix cache hits and device reads."""
+    from repro.common import KIB
+    from repro.lsm import DBOptions, LsmDB
+
+    options = DBOptions(
+        memtable_bytes=4 * KIB,
+        target_file_bytes=4 * KIB,
+        level1_target_bytes=8 * KIB,
+        level_size_multiplier=4,
+        block_bytes=512,
+        block_cache_bytes=16 * KIB,
+    )
+    db = LsmDB.create("NNNTQ", options)
+    keys = [f"key{i:05d}".encode() for i in range(600)]
+    for key in keys:
+        db.put(key, b"x" * 64)
+    return db, keys
+
+
+def _bench_attribution_off():
+    """Baseline read path: the disabled-attribution single branch."""
+    db, keys = _make_attribution_db()
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        get = db.get
+        for i in range(n):
+            get(keys[i % n_keys])
+
+    return op, False
+
+
+def _bench_attribution_on():
+    """Same reads with a live OpContext: measures the tentpole's overhead
+    (allocation + per-charge dict updates) against attribution.get_off."""
+    from repro.obs.attribution import OpContext
+
+    db, keys = _make_attribution_db()
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        get = db.get
+        for i in range(n):
+            get(keys[i % n_keys], ctx=OpContext("read"))
+
+    return op, False
+
+
 def _bench_e2e_smoke():
     """End-to-end: the perf gate's seeded YCSB-A smoke run, wall-clock."""
     from repro.bench.harness import SystemConfig, run_experiment
@@ -331,6 +380,8 @@ BENCHMARKS: dict[str, tuple[str, Callable]] = {
     "zipfian.sample": ("scrambled zipfian key draw", _bench_zipfian_sample),
     "zipfian.setup": ("generator construction, zeta cache cold", _bench_zipfian_setup),
     "metrics.counter_inc": ("labelled counter lookup + increment", _bench_metrics_counter),
+    "attribution.get_off": ("point read, attribution disabled", _bench_attribution_off),
+    "attribution.get_on": ("point read with a live OpContext", _bench_attribution_on),
     "e2e.smoke": ("full 5k-op YCSB-A smoke run (per DB operation)", _bench_e2e_smoke),
 }
 

@@ -64,6 +64,14 @@ def add_report_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="MS",
                         help="record a timeline, sampling every MS sim-ms "
                              "(default with --save: 10)")
+    parser.add_argument("--attribution", action="store_true",
+                        help="attribute per-request latency by (component, "
+                             "tier); feeds `repro.bench explain`")
+    parser.add_argument("--attr-sample-every", type=int, default=1, metavar="N",
+                        help="attribute every Nth op (default: 1 = all)")
+    parser.add_argument("--slow-k", type=int, default=8, metavar="K",
+                        help="slowest ops to retain with full span trees "
+                             "(default: 8)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,7 +104,13 @@ def run_report(args: argparse.Namespace) -> int:
     if sample_interval is None and args.save:
         sample_interval = 10.0  # artifacts should carry a timeline
     runner = WorkloadRunner(
-        db, clients=system_config.clients, sample_interval_ms=sample_interval
+        db,
+        clients=system_config.clients,
+        sample_interval_ms=sample_interval,
+        attribution_sample_every=(
+            args.attr_sample_every if args.attribution else None
+        ),
+        slow_op_k=args.slow_k,
     )
     runner.load(workload)
     elapsed = runner.run(workload)

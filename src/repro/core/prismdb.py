@@ -130,12 +130,14 @@ class PrismDB(LsmDB):
             name=self.name,
         )
 
-    def get(self, user_key: bytes) -> ReadResult:
+    def get(self, user_key: bytes, *, ctx=None) -> ReadResult:
         """Point lookup; feeds the tracker on the way out (§5, Fig. 8)."""
-        result = super().get(user_key)
+        result = super().get(user_key, ctx=ctx)
         # Tracker insertion sits on the read critical path; eviction is
         # deferred to the "background" sweep right after.
         latency = result.latency_usec + self.options.tracker_overhead_usec
+        if ctx is not None and self.options.tracker_overhead_usec:
+            ctx.add("tracker", "-", self.options.tracker_overhead_usec)
         self._obs_tracked_reads.inc()
         self.tracker.on_read(user_key, result.seqno or 0)
         self.tracker.run_evictions(self.prism_options.eviction_steps_per_read)

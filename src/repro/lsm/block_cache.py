@@ -137,20 +137,29 @@ class BlockCache:
         offset: int,
         block_type: BlockType,
         loader: Callable[[], tuple[bytes, float]],
+        ctx=None,
     ) -> tuple[bytes, float]:
         """Return (block bytes, simulated latency).
 
         On a hit the latency is one DRAM access for the block size; on a
         miss it is whatever the loader charges (device I/O) and the block
-        is inserted.
+        is inserted. ``ctx`` (an
+        :class:`~repro.obs.attribution.OpContext`) attributes hits to
+        ``(block type, dram)``; on a miss the block type is handed to the
+        loader's device via ``ctx.component``.
         """
         key = (file_id, offset)
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self._record_hit(block_type)
-            return entry.data, DRAM_SPEC.read_time_usec(len(entry.data))
+            latency = DRAM_SPEC.read_time_usec(len(entry.data))
+            if ctx is not None:
+                ctx.add(block_type.value, "dram", latency)
+            return entry.data, latency
         self._record_miss(block_type)
+        if ctx is not None:
+            ctx.component = block_type.value
         data, latency = loader()
         self._insert(key, data)
         return data, latency
@@ -162,6 +171,7 @@ class BlockCache:
         block_type: BlockType,
         loader: Callable[[], tuple[bytes, float]],
         decoder: Callable[[bytes], T],
+        ctx=None,
     ) -> tuple[T, float]:
         """Return (decoded block object, simulated latency).
 
@@ -179,8 +189,13 @@ class BlockCache:
             decoded = entry.decoded
             if decoded is None:
                 decoded = entry.decoded = decoder(entry.data)
-            return decoded, DRAM_SPEC.read_time_usec(len(entry.data))
+            latency = DRAM_SPEC.read_time_usec(len(entry.data))
+            if ctx is not None:
+                ctx.add(block_type.value, "dram", latency)
+            return decoded, latency
         self._record_miss(block_type)
+        if ctx is not None:
+            ctx.component = block_type.value
         data, latency = loader()
         decoded = decoder(data)
         inserted = self._insert(key, data)

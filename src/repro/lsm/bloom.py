@@ -45,6 +45,17 @@ class BloomFilter:
         n_probes = max(1, min(30, int(round(bits_per_key * math.log(2)))))
         return BloomFilter(n_bits, n_probes)
 
+    @property
+    def n_bits(self) -> int:
+        """Filter size in bits (introspection / attribution annotations)."""
+        return self._n_bits
+
+    @property
+    def n_probes(self) -> int:
+        """Hash probes per membership test; per-request attribution
+        annotates bloom consultations with this cost in its slow-op log."""
+        return self._n_probes
+
     def _positions(self, key: bytes):
         """The k probe positions for ``key`` (kept for tests/debugging).
 

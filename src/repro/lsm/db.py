@@ -209,26 +209,33 @@ class LsmDB:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def put(self, user_key: bytes, value: bytes) -> WriteResult:
+    def put(self, user_key: bytes, value: bytes, *, ctx=None) -> WriteResult:
         """Insert or update a key."""
-        return self._write(Record(user_key, self._next_seqno(), ValueKind.PUT, value))
+        return self._write(
+            Record(user_key, self._next_seqno(), ValueKind.PUT, value), ctx
+        )
 
-    def delete(self, user_key: bytes) -> WriteResult:
+    def delete(self, user_key: bytes, *, ctx=None) -> WriteResult:
         """Delete a key (writes a tombstone)."""
-        return self._write(Record(user_key, self._next_seqno(), ValueKind.DELETE))
+        return self._write(Record(user_key, self._next_seqno(), ValueKind.DELETE), ctx)
 
     def _next_seqno(self) -> int:
         self._seqno += 1
         return self._seqno
 
-    def _write(self, record: Record) -> WriteResult:
+    def _write(self, record: Record, ctx=None) -> WriteResult:
         self._check_open()
         latency = self.options.cpu_overhead_usec
+        if ctx is not None and latency:
+            ctx.add("cpu", "-", latency)
         if self.wal is not None:
-            latency += self.wal.append(record)
+            latency += self.wal.append(record, ctx=ctx)
         self.row_cache.invalidate(record.user_key)
         self._memtable.add(record)
-        latency += DRAM_SPEC.write_time_usec(record.encoded_size())
+        memtable_latency = DRAM_SPEC.write_time_usec(record.encoded_size())
+        if ctx is not None:
+            ctx.add("memtable", "dram", memtable_latency)
+        latency += memtable_latency
         self.stats.user_writes += 1
         self.stats.user_write_bytes += record.encoded_size()
         self._obs_user_writes.inc()
@@ -360,16 +367,26 @@ class LsmDB:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def get(self, user_key: bytes) -> ReadResult:
-        """Point lookup; returns the newest committed value or None."""
+    def get(self, user_key: bytes, *, ctx=None) -> ReadResult:
+        """Point lookup; returns the newest committed value or None.
+
+        ``ctx`` (an :class:`~repro.obs.attribution.OpContext`) records a
+        per-component latency breakdown of the lookup; it never changes
+        the simulated latency itself.
+        """
         self._check_open()
         latency = self.options.cpu_overhead_usec
+        if ctx is not None and latency:
+            ctx.add("cpu", "-", latency)
         result = None
 
         record = self._memtable.get(user_key)
         row_hit = False
         if record is not None:
-            latency += DRAM_SPEC.read_time_usec(record.encoded_size())
+            memtable_latency = DRAM_SPEC.read_time_usec(record.encoded_size())
+            if ctx is not None:
+                ctx.add("memtable", "dram", memtable_latency)
+            latency += memtable_latency
             result = ReadResult(
                 None if record.is_tombstone else record.value,
                 latency,
@@ -378,7 +395,9 @@ class LsmDB:
             )
         else:
             if self.options.row_cache_bytes:
-                row_hit, row_value, row_seqno, row_latency = self.row_cache.lookup(user_key)
+                row_hit, row_value, row_seqno, row_latency = self.row_cache.lookup(
+                    user_key, ctx
+                )
                 if row_hit:
                     latency += row_latency
                     result = ReadResult(row_value, latency, "rowcache", seqno=row_seqno)
@@ -387,8 +406,10 @@ class LsmDB:
                 candidates = self.manifest.candidates_for_key(level, user_key)
                 found = None
                 for table in candidates:
+                    if ctx is not None:
+                        ctx.scope = f"L{level}:f{table.file_id}"
                     hit, table_latency, filtered = table.get(
-                        user_key, self.cache, foreground=True
+                        user_key, self.cache, foreground=True, ctx=ctx
                     )
                     latency += table_latency
                     self.file_read_counts[table.file_id] = (
@@ -427,12 +448,14 @@ class LsmDB:
             self.read_hook(user_key, result)
         return result
 
-    def scan(self, start_key: bytes, count: int) -> ScanResult:
+    def scan(self, start_key: bytes, count: int, *, ctx=None) -> ScanResult:
         """Return up to ``count`` live key-value pairs from ``start_key``."""
         self._check_open()
         if count < 0:
             raise ValueError(f"negative scan count: {count}")
         latency = self.options.cpu_overhead_usec
+        if ctx is not None and latency:
+            ctx.add("cpu", "-", latency)
         latencies = [0.0]
 
         def charged(source):
@@ -447,13 +470,15 @@ class LsmDB:
             for table in files:
                 if table.largest_key < start_key:
                     continue
-                yield from table.iter_from(start_key, self.cache)
+                yield from table.iter_from(start_key, self.cache, ctx=ctx)
 
         sources = [self._memtable.scan_from(start_key)]
         # L0 files overlap, so each needs its own cursor.
         for table in self.manifest.files(0):
             if table.largest_key >= start_key:
-                sources.append(charged(table.iter_from(start_key, self.cache)))
+                sources.append(
+                    charged(table.iter_from(start_key, self.cache, ctx=ctx))
+                )
         for level in range(1, self.manifest.num_levels):
             if self.manifest.is_run_stacked(level):
                 # Runs within a stacked level overlap each other, so each

@@ -74,12 +74,13 @@ class RowCache:
     def _entry_size(key: bytes, value: bytes | None) -> int:
         return len(key) + (len(value) if value is not None else 0) + ENTRY_OVERHEAD_BYTES
 
-    def lookup(self, key: bytes) -> tuple[bool, bytes | None, int, float]:
+    def lookup(self, key: bytes, ctx=None) -> tuple[bool, bytes | None, int, float]:
         """Probe for ``key``.
 
         Returns (hit, value, seqno, latency). ``value`` may be None on a
         hit: the cache also remembers confirmed-absent keys (a read that
         missed everywhere), which spares repeated full-tree misses.
+        ``ctx`` attributes hit latency to ``(rowcache, dram)``.
         """
         entry = self._entries.get(key)
         if entry is not None:
@@ -89,7 +90,10 @@ class RowCache:
             if self._obs_hits is not None:
                 self._obs_hits.inc()
             size = self._entry_size(key, value)
-            return True, value, seqno, DRAM_SPEC.read_time_usec(size)
+            latency = DRAM_SPEC.read_time_usec(size)
+            if ctx is not None:
+                ctx.add("rowcache", "dram", latency)
+            return True, value, seqno, latency
         self.stats.misses += 1
         if self._obs_misses is not None:
             self._obs_misses.inc()

@@ -142,73 +142,87 @@ class SSTable:
     # ------------------------------------------------------------------
     # Block fetch helpers (cache-mediated, latency-charged)
     # ------------------------------------------------------------------
-    def _bloom_filter(self, cache: BlockCache, *, foreground: bool = True) -> tuple[BloomFilter, float]:
+    def _bloom_filter(self, cache: BlockCache, *, foreground: bool = True, ctx=None) -> tuple[BloomFilter, float]:
         # Filter blocks behave like RocksDB's table cache: loaded from
         # the device on first access, then resident in table memory for
         # the file's lifetime. Resident accesses are DRAM hits.
         if self._bloom is not None:
             cache.record_resident_hit(BlockType.FILTER)
-            return self._bloom, DRAM_SPEC.read_time_usec(self.filter_length)
+            latency = DRAM_SPEC.read_time_usec(self.filter_length)
+            if ctx is not None:
+                ctx.add("filter", "dram", latency)
+            return self._bloom, latency
 
         def loader() -> tuple[bytes, float]:
             return self._backend.read(
-                self.file, self.filter_offset, self.filter_length, foreground=foreground
+                self.file, self.filter_offset, self.filter_length,
+                foreground=foreground, ctx=ctx,
             )
 
         bloom, latency = cache.get_or_load_decoded(
-            self.file_id, self.filter_offset, BlockType.FILTER, loader, BloomFilter.decode
+            self.file_id, self.filter_offset, BlockType.FILTER, loader,
+            BloomFilter.decode, ctx,
         )
         self._bloom = bloom
         return bloom, latency
 
-    def _index_entries(self, cache: BlockCache, *, foreground: bool = True) -> tuple[list[IndexEntry], float]:
+    def _index_entries(self, cache: BlockCache, *, foreground: bool = True, ctx=None) -> tuple[list[IndexEntry], float]:
         # Index blocks live in the table cache as well (see above).
         if self._index is not None:
             cache.record_resident_hit(BlockType.INDEX)
-            return self._index, DRAM_SPEC.read_time_usec(self.index_length)
+            latency = DRAM_SPEC.read_time_usec(self.index_length)
+            if ctx is not None:
+                ctx.add("index", "dram", latency)
+            return self._index, latency
 
         def loader() -> tuple[bytes, float]:
             return self._backend.read(
-                self.file, self.index_offset, self.index_length, foreground=foreground
+                self.file, self.index_offset, self.index_length,
+                foreground=foreground, ctx=ctx,
             )
 
         entries, latency = cache.get_or_load_decoded(
-            self.file_id, self.index_offset, BlockType.INDEX, loader, decode_index
+            self.file_id, self.index_offset, BlockType.INDEX, loader,
+            decode_index, ctx,
         )
         self._index = entries
         self._index_keys = [entry.last_key for entry in entries]
         return entries, latency
 
-    def _data_block(self, entry: IndexEntry, cache: BlockCache, *, foreground: bool = True) -> tuple[DataBlock, float]:
+    def _data_block(self, entry: IndexEntry, cache: BlockCache, *, foreground: bool = True, ctx=None) -> tuple[DataBlock, float]:
         def loader() -> tuple[bytes, float]:
             return self._backend.read(
-                self.file, entry.offset, entry.length, foreground=foreground
+                self.file, entry.offset, entry.length,
+                foreground=foreground, ctx=ctx,
             )
 
         return cache.get_or_load_decoded(
-            self.file_id, entry.offset, BlockType.DATA, loader, DataBlock
+            self.file_id, entry.offset, BlockType.DATA, loader, DataBlock, ctx
         )
 
     # ------------------------------------------------------------------
     # Point lookup
     # ------------------------------------------------------------------
-    def get(self, user_key: bytes, cache: BlockCache, *, foreground: bool = True) -> tuple[Record | None, float, bool]:
+    def get(self, user_key: bytes, cache: BlockCache, *, foreground: bool = True, ctx=None) -> tuple[Record | None, float, bool]:
         """Look up ``user_key``.
 
         Returns (record-or-None, simulated latency, filtered) where
         ``filtered`` is True when the bloom filter short-circuited the
         lookup without touching index or data blocks.
         """
-        bloom, latency = self._bloom_filter(cache, foreground=foreground)
-        if not bloom.may_contain(user_key):
+        bloom, latency = self._bloom_filter(cache, foreground=foreground, ctx=ctx)
+        may_contain = bloom.may_contain(user_key)
+        if ctx is not None:
+            ctx.note_probe(may_contain, n_probes=bloom.n_probes)
+        if not may_contain:
             return None, latency, True
-        index, index_latency = self._index_entries(cache, foreground=foreground)
+        index, index_latency = self._index_entries(cache, foreground=foreground, ctx=ctx)
         latency += index_latency
         assert self._index_keys is not None
         pos = bisect.bisect_left(self._index_keys, user_key)
         if pos >= len(index):
             return None, latency, False
-        block, block_latency = self._data_block(index[pos], cache, foreground=foreground)
+        block, block_latency = self._data_block(index[pos], cache, foreground=foreground, ctx=ctx)
         latency += block_latency
         # Lazy point search: binary-search the encoded buffer through the
         # restart-point offsets and decode only the candidate record.
@@ -217,17 +231,17 @@ class SSTable:
     # ------------------------------------------------------------------
     # Scans
     # ------------------------------------------------------------------
-    def iter_from(self, user_key: bytes, cache: BlockCache, *, foreground: bool = True) -> Iterator[tuple[Record, float]]:
+    def iter_from(self, user_key: bytes, cache: BlockCache, *, foreground: bool = True, ctx=None) -> Iterator[tuple[Record, float]]:
         """Yield (record, latency-of-this-step) for keys >= ``user_key``.
 
         The latency of the index fetch and of each block fetch is
         attributed to the first record yielded after that fetch.
         """
-        index, pending_latency = self._index_entries(cache, foreground=foreground)
+        index, pending_latency = self._index_entries(cache, foreground=foreground, ctx=ctx)
         assert self._index_keys is not None
         pos = bisect.bisect_left(self._index_keys, user_key)
         for entry in index[pos:]:
-            block, block_latency = self._data_block(entry, cache, foreground=foreground)
+            block, block_latency = self._data_block(entry, cache, foreground=foreground, ctx=ctx)
             pending_latency += block_latency
             for record in block.records():
                 if record.user_key < user_key:

@@ -32,12 +32,14 @@ class WriteAheadLog:
     def tier(self) -> StorageTier:
         return self._tier
 
-    def append(self, record: Record) -> float:
+    def append(self, record: Record, ctx=None) -> float:
         """Log one record; returns the simulated write latency.
 
         With ``sync_every`` > 1, writes are group-committed: only every
         N-th append pays the device's program latency (the others ride
-        in the same batch and pay only the transfer cost).
+        in the same batch and pay only the transfer cost). ``ctx``
+        attributes the log write to ``(wal, tier)`` on the request's
+        latency breakdown.
         """
         size = record.encoded_size()
         self._segment.append(record)
@@ -47,9 +49,13 @@ class WriteAheadLog:
         self._appends_since_sync += 1
         if self._appends_since_sync >= self._sync_every:
             self._appends_since_sync = 0
-            return self._tier.device.write(size, foreground=True)
+            if ctx is not None:
+                ctx.component = "wal"
+            return self._tier.device.write(size, foreground=True, ctx=ctx)
         transfer = size / self._tier.spec.write_bandwidth_bps * 1_000_000.0
         self._tier.device.stats.bytes_written_foreground += size
+        if ctx is not None:
+            ctx.add("wal", self._tier.name, transfer)
         return transfer
 
     def truncate(self) -> None:

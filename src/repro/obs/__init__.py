@@ -9,11 +9,24 @@
 * :class:`Tracer` — ``with tracer.span("compaction", tier="tlc"): ...``
   spans stamped with *simulated* time, emitted as chrome-trace events
   (JSONL on disk, loadable in chrome://tracing / Perfetto).
+* :class:`LatencyAttribution` / :class:`OpContext` — request-scoped
+  latency provenance: every sampled operation carries a breakdown of its
+  simulated latency by ``(component, tier)``, aggregated per percentile
+  band and persisted in run artifacts (``repro-bench explain``).
 
 See ``docs/OBSERVABILITY.md`` for the naming scheme, the trace schema
 and worked examples.
 """
 
+from repro.obs.attribution import (
+    BAND_LABELS,
+    BANDS,
+    LatencyAttribution,
+    OpContext,
+    attribution_table,
+    band_breakdown,
+    diff_attribution,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -34,6 +47,13 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BANDS",
+    "BAND_LABELS",
+    "LatencyAttribution",
+    "OpContext",
+    "attribution_table",
+    "band_breakdown",
+    "diff_attribution",
     "Counter",
     "Gauge",
     "Histogram",

@@ -17,7 +17,15 @@ Tracing defaults to *disabled*: ``span()`` then returns one shared no-op
 context manager and records nothing — no event objects, no clock reads,
 no per-call allocation — so instrumented hot paths cost a single branch.
 ``sample_every=N`` keeps every Nth span once enabled (instants are always
-kept; they are rare).
+kept; they are rare); sampled-out spans are counted in
+:attr:`Tracer.spans_dropped`.
+
+Serialized traces lead with chrome-trace ``M`` metadata events: a
+``trace_config`` record carrying the effective ``sample_every`` and the
+drop counters, plus ``process_name``/``thread_name`` records that name a
+pseudo-process per component (span name) and a pseudo-thread per tier —
+so chrome://tracing groups "compaction on tlc" under a labeled track
+instead of one anonymous pid 0 lane.
 """
 
 from __future__ import annotations
@@ -49,7 +57,7 @@ _NOOP_SPAN = _NoopSpan()
 class _Span:
     """An open span; closing it appends one complete ("X") event."""
 
-    __slots__ = ("_tracer", "_name", "_args", "_start", "_dur_override")
+    __slots__ = ("_tracer", "_name", "_args", "_start", "_dur_override", "_pid", "_tid")
 
     def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
         self._tracer = tracer
@@ -57,6 +65,7 @@ class _Span:
         self._args = args
         self._start = tracer.clock.now
         self._dur_override: float | None = None
+        self._pid, self._tid = tracer._track_for(name, args.get("tier", ""))
 
     def set_duration(self, dur_usec: float) -> None:
         """Override the span duration.
@@ -81,8 +90,8 @@ class _Span:
                 "ph": "X",
                 "ts": self._start,
                 "dur": dur,
-                "pid": 0,
-                "tid": 0,
+                "pid": self._pid,
+                "tid": self._tid,
                 "args": self._args,
             }
         )
@@ -115,6 +124,14 @@ class Tracer:
         self._span_seq = 0
         self.events: list[dict] = []
         self.dropped_events = 0
+        #: Spans skipped by ``sample_every`` (distinct from
+        #: :attr:`dropped_events`, the memory-bound overflow count).
+        self.spans_dropped = 0
+        # Pseudo-process per component name and pseudo-thread per
+        # (pid, tier), assigned in first-use order so identical runs
+        # produce identical ids (the golden-trace determinism test).
+        self._process_ids: dict[str, int] = {}
+        self._thread_ids: dict[tuple[int, str], int] = {}
 
     # ------------------------------------------------------------------
     # Mode control
@@ -145,12 +162,26 @@ class Tracer:
             return
         self.events.append(event)
 
+    def _track_for(self, name: str, tier: str) -> tuple[int, int]:
+        """(pid, tid) for a component/tier pair, assigned on first use."""
+        pid = self._process_ids.get(name)
+        if pid is None:
+            pid = self._process_ids[name] = len(self._process_ids) + 1
+        key = (pid, tier)
+        tid = self._thread_ids.get(key)
+        if tid is None:
+            tid = self._thread_ids[key] = sum(
+                1 for existing in self._thread_ids if existing[0] == pid
+            )
+        return pid, tid
+
     def span(self, name: str, **labels):
         """Open a span: ``with tracer.span("compaction", tier="tlc"): ...``"""
         if not self._enabled:
             return _NOOP_SPAN
         self._span_seq += 1
         if self._sample_every > 1 and self._span_seq % self._sample_every:
+            self.spans_dropped += 1
             return _NOOP_SPAN
         return _Span(self, name, {k: str(v) for k, v in labels.items()})
 
@@ -158,6 +189,8 @@ class Tracer:
         """Record a point event (always kept while enabled)."""
         if not self._enabled:
             return
+        args = {k: str(v) for k, v in labels.items()}
+        pid, tid = self._track_for(name, args.get("tier", ""))
         self._append(
             {
                 "name": name,
@@ -165,42 +198,97 @@ class Tracer:
                 "ph": "i",
                 "ts": self.clock.now,
                 "s": "g",
-                "pid": 0,
-                "tid": 0,
-                "args": {k: str(v) for k, v in labels.items()},
+                "pid": pid,
+                "tid": tid,
+                "args": args,
             }
         )
 
     def clear(self) -> None:
         self.events.clear()
         self.dropped_events = 0
+        self.spans_dropped = 0
         self._span_seq = 0
+        self._process_ids.clear()
+        self._thread_ids.clear()
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def metadata_events(self) -> list[dict]:
+        """Chrome-trace ``M`` metadata naming the pseudo-tracks.
+
+        One ``trace_config`` record (effective ``sample_every`` plus both
+        drop counters), one ``process_name`` per component, and one
+        ``thread_name`` per (component, tier) pair. Regenerated at each
+        serialization so the drop counters are current; not stored in
+        :attr:`events`.
+        """
+        meta = [
+            {
+                "name": "trace_config",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "sample_every": self._sample_every,
+                    "spans_dropped": self.spans_dropped,
+                    "events_dropped": self.dropped_events,
+                },
+            }
+        ]
+        for name, pid in self._process_ids.items():
+            meta.append(
+                {
+                    "name": "process_name",
+                    "cat": "__metadata",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+        for (pid, tier), tid in self._thread_ids.items():
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "cat": "__metadata",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": tier or "main"},
+                }
+            )
+        return meta
+
     def write_jsonl(self, path_or_file: str | IO[str]) -> int:
-        """Write one chrome-trace event per line; returns event count."""
+        """Write one chrome-trace event per line (metadata first);
+        returns the number of lines written."""
         if hasattr(path_or_file, "write"):
-            for event in self.events:
+            written = 0
+            for event in self.metadata_events() + self.events:
                 path_or_file.write(json.dumps(event, sort_keys=True) + "\n")
-        else:
-            with open(path_or_file, "w", encoding="utf-8") as handle:
-                return self.write_jsonl(handle)
-        return len(self.events)
+                written += 1
+            return written
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            return self.write_jsonl(handle)
 
     def write_chrome_json(self, path_or_file: str | IO[str]) -> int:
         """Write the ``{"traceEvents": [...]}`` envelope chrome opens."""
         if hasattr(path_or_file, "write"):
+            events = self.metadata_events() + self.events
             json.dump(
-                {"traceEvents": self.events, "displayTimeUnit": "ms"},
+                {"traceEvents": events, "displayTimeUnit": "ms"},
                 path_or_file,
                 sort_keys=True,
             )
-        else:
-            with open(path_or_file, "w", encoding="utf-8") as handle:
-                return self.write_chrome_json(handle)
-        return len(self.events)
+            return len(events)
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            return self.write_chrome_json(handle)
 
 
 def read_jsonl(path: str) -> list[dict]:

@@ -132,8 +132,13 @@ class StorageBackend:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, file: SimFile, offset: int, length: int, *, foreground: bool = True) -> tuple[bytes, float]:
-        """Read ``length`` bytes at ``offset``; returns (data, latency)."""
+    def read(self, file: SimFile, offset: int, length: int, *, foreground: bool = True, ctx=None) -> tuple[bytes, float]:
+        """Read ``length`` bytes at ``offset``; returns (data, latency).
+
+        ``ctx`` (an :class:`~repro.obs.attribution.OpContext`) attributes
+        the device time to the requesting component and any mid-migration
+        lock stall to ``(migration_stall, tier)``.
+        """
         if file.deleted:
             raise StorageError(f"read from deleted file {file.file_id}")
         if offset < 0 or length < 0 or offset + length > file.size:
@@ -146,7 +151,9 @@ class StorageBackend:
             stall = file.locked_until_usec - self._clock.now
             self.stats.lock_stall_usec += stall
             self.stats.lock_stalls += 1
-        latency = file.tier.device.read(length, foreground=foreground) + stall
+            if ctx is not None:
+                ctx.add("migration_stall", file.tier.name, stall)
+        latency = file.tier.device.read(length, foreground=foreground, ctx=ctx) + stall
         self._tally(file.tier, length, is_read=True, foreground=foreground)
         return file.data[offset : offset + length], latency
 

@@ -205,6 +205,11 @@ class Device:
             raise ConfigError(f"background_share must be in (0, 1]: {background_share}")
         self.spec = spec
         self.capacity_bytes = capacity_bytes
+        #: Attribution label for this device's latency; the owning
+        #: :class:`~repro.storage.tier.StorageTier` overwrites it with
+        #: the tier name (e.g. ``qlc-L4``) so per-request breakdowns name
+        #: the tier, not just the technology.
+        self.tier_name = spec.name.lower()
         self.stats = DeviceStats()
         self._clock = clock
         self._background_share = background_share
@@ -256,8 +261,16 @@ class Device:
     # ------------------------------------------------------------------
     # I/O charging
     # ------------------------------------------------------------------
-    def read(self, n_bytes: int, *, foreground: bool = True) -> float:
-        """Charge a read and return its simulated latency in usec."""
+    def read(self, n_bytes: int, *, foreground: bool = True, ctx=None) -> float:
+        """Charge a read and return its simulated latency in usec.
+
+        ``ctx`` is an optional :class:`~repro.obs.attribution.OpContext`:
+        when present, the base service time is attributed to
+        ``(ctx.component, tier)`` and the queueing penalty — time spent
+        behind background compaction/migration backlog — to
+        ``(compact_wait, tier)``. Attribution never changes the returned
+        latency.
+        """
         if n_bytes < 0:
             raise ValueError(f"negative read size: {n_bytes}")
         self.stats.reads += 1
@@ -267,6 +280,10 @@ class Device:
             self.stats.bytes_read_foreground += n_bytes
             penalty = self.queue_penalty_usec()
             latency = base + penalty
+            if ctx is not None:
+                ctx.add(ctx.component, self.tier_name, base)
+                if penalty:
+                    ctx.add("compact_wait", self.tier_name, penalty)
         else:
             self.stats.bytes_read_background += n_bytes
             # Background reads contend like background writes do: they
@@ -287,7 +304,7 @@ class Device:
                 obs.read_bg.inc(n_bytes)
         return latency
 
-    def write(self, n_bytes: int, *, foreground: bool = True) -> float:
+    def write(self, n_bytes: int, *, foreground: bool = True, ctx=None) -> float:
         """Charge a write and return its simulated latency in usec.
 
         Background writes (compactions, migrations) return 0 latency to
@@ -308,6 +325,10 @@ class Device:
             penalty = self.queue_penalty_usec()
             if self._obs is not None:
                 self._obs.queue_penalty.observe(penalty)
+            if ctx is not None:
+                ctx.add(ctx.component, self.tier_name, base)
+                if penalty:
+                    ctx.add("compact_wait", self.tier_name, penalty)
             self.stats.bytes_written_foreground += n_bytes
             return base + penalty
         self.stats.bytes_written_background += n_bytes

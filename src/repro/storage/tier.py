@@ -34,6 +34,9 @@ class StorageTier:
             raise ConfigError(f"tier {name}: slack_factor must be >= 1.0")
         self.name = name
         self.device = Device(spec, capacity_bytes, clock)
+        # Per-request latency attribution names the tier, not the raw
+        # technology, so "nvm-L0-L2" and a second NVM tier stay distinct.
+        self.device.tier_name = name
         self.capacity_bytes = capacity_bytes
         #: The intended steady-state data volume (sum of level targets);
         #: ``capacity_bytes`` adds headroom for compaction transients.

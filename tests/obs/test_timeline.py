@@ -197,3 +197,95 @@ class TestPercentileFromBuckets:
     def test_rejects_bad_percentile(self):
         with pytest.raises(ValueError):
             percentile_from_buckets((1.0,), [1, 0], 101.0)
+
+
+class TestEdgeCases:
+    """Boundary behaviours: idle intervals, markers on sample edges,
+    and bucket deltas that return to zero after a burst."""
+
+    def test_zero_op_interval_rows_are_all_zero(self, registry, clock):
+        hist = registry.histogram("op.latency_usec", op="read")
+        sampler = make_sampler(registry, clock)
+        for _ in range(5):
+            hist.observe(10.0)
+        clock.advance(1_000.0)  # busy interval
+        clock.advance(1_000.0)  # idle interval
+        clock.advance(1_000.0)  # another idle interval
+        idle_rows = sampler.rows[1:]
+        assert len(idle_rows) == 2
+        for _, _, values in idle_rows:
+            assert values["throughput_kops"] == 0.0
+            assert values["read_p50_usec"] == 0.0
+            assert values["read_p99_usec"] == 0.0
+
+    def test_zero_op_interval_does_not_reuse_previous_percentiles(
+        self, registry, clock
+    ):
+        # A cumulative-percentile bug would echo the burst's p99 into the
+        # idle interval; the delta view must report 0 (no ops).
+        hist = registry.histogram("op.latency_usec", op="read")
+        sampler = make_sampler(registry, clock)
+        for _ in range(20):
+            hist.observe(5_000.0)
+        clock.advance(1_000.0)
+        clock.advance(1_000.0)
+        p99s = [row[2]["read_p99_usec"] for row in sampler.rows]
+        assert p99s[0] >= 5_000.0
+        assert p99s[1] == 0.0
+
+    def test_phase_marker_exactly_on_interval_edge(self, registry, clock):
+        sampler = make_sampler(registry, clock)
+        clock.advance(1_000.0)  # sample at exactly t=1ms, phase ""
+        sampler.mark_phase("run")  # marked at exactly t=1ms
+        clock.advance(1_000.0)  # sample at t=2ms
+        rows = sampler.rows
+        assert [row[1] for row in rows] == ["", "run"]
+        # The marker itself is recorded at the boundary timestamp.
+        assert sampler.to_dict()["phases"] == [[1.0, "run"]]
+
+    def test_phase_marker_mid_interval_stamps_next_sample(self, registry, clock):
+        sampler = make_sampler(registry, clock)
+        clock.advance(500.0)
+        sampler.mark_phase("warmup")
+        clock.advance(500.0)  # boundary at t=1ms carries the new phase
+        assert sampler.rows[0][1] == "warmup"
+
+    def test_bucket_delta_goes_negative_free_when_bucket_empties(
+        self, registry, clock
+    ):
+        # Histogram bucket counts are cumulative and never decrease; an
+        # interval where a previously hot bucket sees no observations
+        # must yield a zero delta for it, not a stale or negative count.
+        hist = registry.histogram("op.latency_usec", op="read")
+        sampler = make_sampler(registry, clock)
+        for _ in range(8):
+            hist.observe(3.0)  # lands in one low bucket
+        clock.advance(1_000.0)
+        for _ in range(4):
+            hist.observe(4_000.0)  # a different, high bucket
+        clock.advance(1_000.0)
+        # Interval ops counted via throughput: 8 then 4, never 12.
+        kops = [row[2]["throughput_kops"] for row in sampler.rows]
+        assert kops[0] == pytest.approx(8 / 0.001 / 1_000.0)
+        assert kops[1] == pytest.approx(4 / 0.001 / 1_000.0)
+        # The second interval's delta must drop the first interval's hot
+        # bucket to zero (and hold no negative entries anywhere).
+        sampler._histogram_delta("probe", hist)  # prime the probe key
+        idle_delta = sampler._histogram_delta("probe", hist)
+        assert all(count == 0 for count in idle_delta)
+        # And a further idle interval reports an all-zero row.
+        clock.advance(1_000.0)
+        assert sampler.rows[2][2]["throughput_kops"] == 0.0
+        assert sampler.rows[2][2]["read_p99_usec"] == 0.0
+
+    def test_probe_error_free_zero_interval_export(self, registry, clock):
+        # to_dict on a timeline whose only rows are zero-op intervals is
+        # still JSON-safe and column-aligned.
+        registry.histogram("op.latency_usec", op="read")
+        sampler = make_sampler(registry, clock)
+        clock.advance(3_000.0)
+        doc = sampler.to_dict()
+        assert len(doc["t_ms"]) == 3
+        for values in doc["series"].values():
+            assert len(values) == 3
+        json.dumps(doc)

@@ -105,8 +105,11 @@ class TestSerialization:
             clock.advance(3.0)
         tracer.instant("trivial_move", level=1)
         path = str(tmp_path / "trace.jsonl")
-        assert tracer.write_jsonl(path) == 2
-        assert read_jsonl(path) == tracer.events
+        written = tracer.write_jsonl(path)
+        lines = read_jsonl(path)
+        assert written == len(lines)
+        recorded = [event for event in lines if event["ph"] != "M"]
+        assert recorded == tracer.events
 
     def test_chrome_json_envelope(self, tmp_path):
         clock = SimClock()
@@ -115,12 +118,81 @@ class TestSerialization:
             clock.advance(1.0)
         jsonl = str(tmp_path / "t.jsonl")
         chrome = str(tmp_path / "t.json")
-        tracer.write_jsonl(jsonl)
-        assert jsonl_to_chrome_json(jsonl, chrome) == 1
+        written = tracer.write_jsonl(jsonl)
+        assert jsonl_to_chrome_json(jsonl, chrome) == written
         with open(chrome) as handle:
             doc = json.load(handle)
-        assert doc["traceEvents"] == tracer.events
+        recorded = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert recorded == tracer.events
         assert doc["displayTimeUnit"] == "ms"
+
+
+class TestMetadata:
+    def test_metadata_names_processes_and_threads(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("compaction", tier="tlc-L3"):
+            clock.advance(1.0)
+        with tracer.span("compaction", tier="qlc-L4"):
+            clock.advance(1.0)
+        with tracer.span("flush", tier="nvm-L0-L2"):
+            clock.advance(1.0)
+        meta = tracer.metadata_events()
+        assert all(event["ph"] == "M" for event in meta)
+        assert all(event["cat"] == "__metadata" for event in meta)
+        processes = {
+            e["args"]["name"]: e["pid"] for e in meta if e["name"] == "process_name"
+        }
+        assert set(processes) == {"compaction", "flush"}
+        threads = {
+            (e["pid"], e["args"]["name"]) for e in meta if e["name"] == "thread_name"
+        }
+        assert (processes["compaction"], "tlc-L3") in threads
+        assert (processes["compaction"], "qlc-L4") in threads
+        assert (processes["flush"], "nvm-L0-L2") in threads
+        # Recorded events carry the same pid/tid the metadata names.
+        for event in tracer.events:
+            assert event["pid"] in processes.values()
+
+    def test_trace_config_reports_sampling_and_drops(self):
+        clock = SimClock()
+        tracer = Tracer(clock, sample_every=3)
+        for _ in range(9):
+            with tracer.span("op"):
+                clock.advance(1.0)
+        assert tracer.spans_dropped == 6
+        (config,) = [
+            e for e in tracer.metadata_events() if e["name"] == "trace_config"
+        ]
+        assert config["args"]["sample_every"] == 3
+        assert config["args"]["spans_dropped"] == 6
+        assert config["args"]["events_dropped"] == 0
+
+    def test_clear_resets_tracks_and_drop_counters(self):
+        clock = SimClock()
+        tracer = Tracer(clock, sample_every=2)
+        for _ in range(4):
+            with tracer.span("op", tier="nvm"):
+                pass
+        tracer.clear()
+        assert tracer.spans_dropped == 0
+        assert [e for e in tracer.metadata_events() if e["ph"] == "M"
+                and e["name"] != "trace_config"] == []
+
+    def test_pid_tid_assignment_is_deterministic(self):
+        def record(tracer, clock):
+            with tracer.span("flush", tier="nvm"):
+                clock.advance(1.0)
+            with tracer.span("compaction", tier="tlc"):
+                clock.advance(1.0)
+            tracer.instant("trivial_move", tier="tlc")
+
+        clock_a, clock_b = SimClock(), SimClock()
+        a, b = Tracer(clock_a), Tracer(clock_b)
+        record(a, clock_a)
+        record(b, clock_b)
+        assert a.events == b.events
+        assert a.metadata_events() == b.metadata_events()
 
 
 class TestGoldenDbTrace:
