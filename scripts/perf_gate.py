@@ -64,7 +64,9 @@ def git_commit() -> str:
         return "unknown"
 
 
-def append_trajectory_point(results: dict[str, RunResult]) -> None:
+def append_trajectory_point(
+    results: dict[str, RunResult], wall_clock: dict[str, float]
+) -> None:
     """Append one per-PR trajectory point to BENCH_SMOKE.json."""
     history: dict = {"schema": 1, "points": []}
     if os.path.exists(SMOKE_FILE):
@@ -84,6 +86,10 @@ def append_trajectory_point(results: dict[str, RunResult]) -> None:
                 "read_p99_usec": result.read_latency.p99,
                 "update_p99_usec": result.update_latency.p99,
                 "write_amplification": result.write_amplification,
+                # Real seconds the smoke run took, *not* simulated time:
+                # the one metric here that tracks simulator speed rather
+                # than simulated behaviour.
+                "wall_clock_sec": round(wall_clock[system], 4),
             }
             for system, result in results.items()
         },
@@ -107,11 +113,14 @@ def main(argv: list[str] | None = None) -> int:
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     results: dict[str, RunResult] = {}
+    wall_clock: dict[str, float] = {}
     failed = False
     for system in SYSTEMS:
+        started = time.perf_counter()
         result = smoke_run(
             system, records=args.records, ops=args.ops, seed=args.seed
         )
+        wall_clock[system] = time.perf_counter() - started
         results[system] = result
         smoke_path = os.path.join(RESULTS_DIR, f"smoke_{system}.json")
         result.save(smoke_path)
@@ -141,7 +150,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"read p99 {result.read_latency.p99:.1f} us, "
                 f"WA {result.write_amplification:.2f})"
             )
-    append_trajectory_point(results)
+    append_trajectory_point(results, wall_clock)
     print(f"[perf-gate] trajectory point appended to {SMOKE_FILE}")
     return 1 if failed else 0
 

@@ -28,7 +28,13 @@ from repro.lsm.options import DBOptions, options_for_db_size
 from repro.obs.attribution import LatencyAttribution
 from repro.obs.timeline import TimelineSampler
 from repro.storage.endurance import device_lifetime_seconds
-from repro.workloads.ycsb import OpKind, YCSBConfig, YCSBWorkload
+from repro.workloads.ycsb import (
+    OP_READ,
+    OP_SCAN,
+    YCSBConfig,
+    YCSBWorkload,
+    batches_from_requests,
+)
 
 #: Systems the experiments compare.
 SYSTEM_NAMES = ("rocksdb", "prismdb", "mutant")
@@ -417,64 +423,116 @@ class WorkloadRunner:
             self._source_hist[source] = hist
         hist.observe(latency)
 
+    # ------------------------------------------------------------------
+    # Phase drivers
+    #
+    # All three phases consume RequestBatch chunks (parallel arrays of
+    # int op codes / keys / values / scan lengths) and bind every
+    # per-op attribute lookup to a local once per batch. Workloads that
+    # only speak the per-op Request protocol (replayed traces) are
+    # adapted through batches_from_requests, so there is exactly one hot
+    # loop per phase. The per-op accounting — clock.advance(latency /
+    # clients) after every operation — is unchanged from the per-op
+    # runner, which is what keeps simulated results bit-identical.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _phase_batches(workload, phase: str):
+        batches = getattr(workload, f"{phase}_batches", None)
+        if batches is not None:
+            return batches()
+        return batches_from_requests(getattr(workload, f"{phase}_stream")())
+
     def load(self, workload: YCSBWorkload) -> float:
         """Load phase; returns simulated elapsed usec."""
-        start = self.db.clock.now
+        db = self.db
+        start = db.clock.now
         self._mark_phase("load")
-        for request in workload.load_stream():
-            result = self.db.put(request.key, request.value)
-            self.db.clock.advance(result.latency_usec / self.clients)
-        self.db.flush()
-        return self.db.clock.now - start
+        put = db.put
+        advance = db.clock.advance
+        clients = self.clients
+        for batch in self._phase_batches(workload, "load"):
+            for key, value in zip(batch.keys, batch.values):
+                advance(put(key, value).latency_usec / clients)
+        db.flush()
+        return db.clock.now - start
 
     def warmup(self, workload: YCSBWorkload) -> float:
         """Unmeasured warm-up traffic; returns simulated elapsed usec."""
-        start = self.db.clock.now
+        db = self.db
+        start = db.clock.now
         self._mark_phase("warmup")
-        for request in workload.warmup_stream():
-            if request.kind == OpKind.READ:
-                latency = self.db.get(request.key).latency_usec
-            elif request.kind in (OpKind.UPDATE, OpKind.INSERT):
-                latency = self.db.put(request.key, request.value).latency_usec
-            else:
-                latency = self.db.scan(request.key, request.scan_length).latency_usec
-            self.db.clock.advance(latency / self.clients)
-        return self.db.clock.now - start
+        get = db.get
+        put = db.put
+        scan = db.scan
+        advance = db.clock.advance
+        clients = self.clients
+        for batch in self._phase_batches(workload, "warmup"):
+            keys = batch.keys
+            values = batch.values
+            lengths = batch.scan_lengths
+            for i, kind in enumerate(batch.kinds):
+                if kind == OP_READ:
+                    latency = get(keys[i]).latency_usec
+                elif kind != OP_SCAN:
+                    latency = put(keys[i], values[i]).latency_usec
+                else:
+                    latency = scan(keys[i], lengths[i]).latency_usec
+                advance(latency / clients)
+        return db.clock.now - start
 
     def run(self, workload: YCSBWorkload) -> float:
         """Transaction phase; returns simulated elapsed usec."""
-        start = self.db.clock.now
+        db = self.db
+        start = db.clock.now
         self._mark_phase("run")
         attr = self.attribution
-        for request in workload.run_stream():
-            if request.kind == OpKind.READ:
-                ctx = attr.begin("read") if attr is not None else None
-                result = self.db.get(request.key, ctx=ctx)
-                latency = result.latency_usec
-                self.read_latency.record(latency)
-                bucket = self.read_latency_by_source.setdefault(
-                    result.served_by, LatencyRecorder()
-                )
-                bucket.record(latency)
-                self._op_hist["read"].observe(latency)
-                self._observe_read(result.served_by, latency)
-            elif request.kind in (OpKind.UPDATE, OpKind.INSERT):
-                ctx = attr.begin("update") if attr is not None else None
-                latency = self.db.put(request.key, request.value, ctx=ctx).latency_usec
-                self.update_latency.record(latency)
-                self._op_hist["update"].observe(latency)
-            else:
-                ctx = attr.begin("scan") if attr is not None else None
-                latency = self.db.scan(
-                    request.key, request.scan_length, ctx=ctx
-                ).latency_usec
-                self.scan_latency.record(latency)
-                self._op_hist["scan"].observe(latency)
-            if ctx is not None:
-                attr.observe(ctx, latency)
-            self._ops_run += 1
-            self.db.clock.advance(latency / self.clients)
-        return self.db.clock.now - start
+        get = db.get
+        put = db.put
+        scan = db.scan
+        advance = db.clock.advance
+        clients = self.clients
+        record_read = self.read_latency.record
+        record_update = self.update_latency.record
+        record_scan = self.scan_latency.record
+        observe_read_hist = self._op_hist["read"].observe
+        observe_update_hist = self._op_hist["update"].observe
+        observe_scan_hist = self._op_hist["scan"].observe
+        by_source = self.read_latency_by_source
+        observe_read = self._observe_read
+        ops = 0
+        for batch in self._phase_batches(workload, "run"):
+            keys = batch.keys
+            values = batch.values
+            lengths = batch.scan_lengths
+            for i, kind in enumerate(batch.kinds):
+                if kind == OP_READ:
+                    ctx = attr.begin("read") if attr is not None else None
+                    result = get(keys[i], ctx=ctx)
+                    latency = result.latency_usec
+                    record_read(latency)
+                    source = result.served_by
+                    bucket = by_source.get(source)
+                    if bucket is None:
+                        bucket = by_source[source] = LatencyRecorder()
+                    bucket.record(latency)
+                    observe_read_hist(latency)
+                    observe_read(source, latency)
+                elif kind != OP_SCAN:
+                    ctx = attr.begin("update") if attr is not None else None
+                    latency = put(keys[i], values[i], ctx=ctx).latency_usec
+                    record_update(latency)
+                    observe_update_hist(latency)
+                else:
+                    ctx = attr.begin("scan") if attr is not None else None
+                    latency = scan(keys[i], lengths[i], ctx=ctx).latency_usec
+                    record_scan(latency)
+                    observe_scan_hist(latency)
+                if ctx is not None:
+                    attr.observe(ctx, latency)
+                ops += 1
+                advance(latency / clients)
+        self._ops_run += ops
+        return db.clock.now - start
 
     def result(self, label: str, config: SystemConfig, elapsed_usec: float) -> RunResult:
         """Snapshot all metrics after :meth:`run`."""

@@ -348,6 +348,67 @@ def _bench_attribution_on():
     return op, False
 
 
+def _bench_block_zero_copy():
+    """Point search over a memoryview-backed block, as partial file reads
+    hand them out: no bytes copy between the 'file' and the search."""
+    from repro.lsm.block import DataBlock, DataBlockBuilder
+
+    records = _records(40)
+    builder = DataBlockBuilder(1 << 20)
+    for record in records:
+        builder.add(record)
+    payload = builder.finish()
+    # Embed the block mid-"file" so the slice below mirrors what
+    # StorageBackend.read returns for a block-sized partial read.
+    file_bytes = b"\x00" * 128 + payload + b"\x00" * 128
+    view = memoryview(file_bytes)
+    lo, hi = 128, 128 + len(payload)
+    keys = [record.user_key for record in records]
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        for i in range(n):
+            DataBlock(view[lo:hi]).search(keys[i % n_keys])
+
+    return op, True
+
+
+def _bench_key_intern():
+    """Workload key materialization through the interner's memo table."""
+    from repro.workloads.interning import KeyInterner
+
+    interner = KeyInterner()
+    n_keys = 4_096
+    for i in range(n_keys):
+        interner.key(i)
+
+    def op(n: int) -> None:
+        key = interner.key
+        for i in range(n):
+            key(i % n_keys)
+
+    return op, False
+
+
+def _bench_runner_batched():
+    """Batched YCSB op generation: RNG draws + batch assembly, per op."""
+    from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+    config = YCSBConfig.read_update(
+        50, record_count=1_000, operation_count=2_000, seed=0
+    )
+
+    def op(n: int) -> int:
+        total = 0
+        while total < n:
+            workload = YCSBWorkload(config)
+            for batch in workload.run_batches():
+                total += len(batch.kinds)
+        return total
+
+    return op, True
+
+
 def _bench_e2e_smoke():
     """End-to-end: the perf gate's seeded YCSB-A smoke run, wall-clock."""
     from repro.bench.harness import SystemConfig, run_experiment
@@ -371,6 +432,7 @@ BENCHMARKS: dict[str, tuple[str, Callable]] = {
     "block.build": ("encode a 40-record data block", _bench_block_build),
     "block.decode": ("decode all records of a 4KB block", _bench_block_decode),
     "block.point_search": ("lazy point lookup in an encoded block", _bench_block_point_search),
+    "block.zero_copy": ("point search over a memoryview-backed block", _bench_block_zero_copy),
     "bloom.add": ("bulk-insert keys into a bloom filter", _bench_bloom_add),
     "bloom.probe_hit": ("membership probe, key present", _bench_bloom_probe_hit),
     "bloom.probe_miss": ("membership probe, key absent", _bench_bloom_probe_miss),
@@ -379,6 +441,8 @@ BENCHMARKS: dict[str, tuple[str, Callable]] = {
     "merge.records": ("4-way sorted-run merge, per record", _bench_merge_records),
     "zipfian.sample": ("scrambled zipfian key draw", _bench_zipfian_sample),
     "zipfian.setup": ("generator construction, zeta cache cold", _bench_zipfian_setup),
+    "key.intern": ("interned workload key lookup", _bench_key_intern),
+    "runner.batched": ("batched YCSB op generation, per op", _bench_runner_batched),
     "metrics.counter_inc": ("labelled counter lookup + increment", _bench_metrics_counter),
     "attribution.get_off": ("point read, attribution disabled", _bench_attribution_off),
     "attribution.get_on": ("point read with a live OpContext", _bench_attribution_on),
@@ -399,6 +463,9 @@ def run_micro(
     """Run the (filtered) suite and return per-benchmark results."""
     inner, default_repeats = _SCALES["quick" if quick else "full"]
     repeats = repeats or default_repeats
+    # Benchmark names are all lowercase, so lowering the filter makes the
+    # match case-insensitive.
+    name_filter = name_filter.lower() if name_filter else None
     results = []
     for name, (_, factory) in BENCHMARKS.items():
         if name_filter and name_filter not in name:
@@ -450,7 +517,8 @@ def add_micro_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized counts: a few seconds total")
     parser.add_argument("--filter", default=None, metavar="SUBSTR",
-                        help="only run benchmarks whose name contains SUBSTR")
+                        help="only run benchmarks whose name contains SUBSTR "
+                             "(case-insensitive)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed repetitions per benchmark (default by scale)")
     parser.add_argument("--json", default=None, metavar="FILE",

@@ -23,7 +23,9 @@ from repro.core.mapper import ClockDistributionMapper
 from repro.core.tracker import ClockTracker
 from repro.errors import ConfigError
 from repro.lsm.compaction import CompactionPicker, MergeRouter
-from repro.lsm.record import Record
+from repro.lsm.record import Record, ValueKind
+
+_DELETE = ValueKind.DELETE
 from repro.lsm.sstable import SSTable
 from repro.lsm.version import LevelManifest
 
@@ -103,7 +105,7 @@ class ReadAwareRouter(MergeRouter):
             # L0 files, so a pinned record would just be rewritten on the
             # next job. Hot keys get pinned from L1 down instead.
             return False
-        if record.is_tombstone:
+        if record.kind is _DELETE:
             # Tombstones are never read; pinning them would waste fast
             # storage and delay space reclamation.
             self.stats.rejected_tombstone += 1

@@ -10,7 +10,7 @@ workloads slightly favour vanilla RocksDB (Fig. 11's zipf >= 1.4 regime).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.core.mapper import ClockDistributionMapper
 from repro.core.placer import LowestScorePicker, ReadAwareRouter
@@ -141,4 +141,6 @@ class PrismDB(LsmDB):
         self._obs_tracked_reads.inc()
         self.tracker.on_read(user_key, result.seqno or 0)
         self.tracker.run_evictions(self.prism_options.eviction_steps_per_read)
-        return replace(result, latency_usec=latency)
+        # Direct construction instead of dataclasses.replace(): replace()
+        # re-walks the field list on every read.
+        return ReadResult(result.value, latency, result.served_by, result.seqno)

@@ -27,7 +27,7 @@ from __future__ import annotations
 import struct
 
 from repro.errors import CorruptionError
-from repro.lsm.record import Record
+from repro.lsm.record import MAX_SEQNO, Record
 
 _COUNT = struct.Struct("<H")
 _OFFSET = struct.Struct("<I")
@@ -35,39 +35,55 @@ _KEY_LEN = struct.Struct("<H")
 #: Record header layout (key_len, value_len, kind, seqno); mirrored from
 #: :mod:`repro.lsm.record` so key peeks avoid building Record objects.
 _REC_HEADER = struct.Struct("<HIBQ")
+#: Fixed bytes each record adds to a block beyond its key and value.
+_PER_RECORD = _REC_HEADER.size + _OFFSET.size
 
 
 class DataBlockBuilder:
     """Accumulates records (already in internal-key order) into one block."""
+
+    __slots__ = ("target_bytes", "_records", "_estimated", "_last_key", "_last_inv")
 
     def __init__(self, target_bytes: int) -> None:
         if target_bytes <= 0:
             raise ValueError(f"target_bytes must be positive: {target_bytes}")
         self.target_bytes = target_bytes
         self._records: list[Record] = []
-        self._payload_bytes = 0
+        # Size is maintained incrementally (payload + one u32 restart
+        # offset per record + the count trailer), and the order check
+        # keeps the previous (key, inverted-seqno) pair instead of
+        # building two sort-key tuples per add.
+        self._estimated = _COUNT.size
+        self._last_key: bytes | None = None
+        self._last_inv = 0
 
     def __len__(self) -> int:
         return len(self._records)
 
     @property
     def estimated_bytes(self) -> int:
-        # Payload + one u32 restart offset per record + the count trailer.
-        return self._payload_bytes + _OFFSET.size * len(self._records) + _COUNT.size
+        return self._estimated
 
     def add(self, record: Record) -> None:
-        if self._records:
-            prev = self._records[-1]
-            if record.internal_sort_key() <= prev.internal_sort_key():
-                raise ValueError(
-                    f"records out of order: {record.user_key!r}@{record.seqno} "
-                    f"after {prev.user_key!r}@{prev.seqno}"
-                )
+        key = record.user_key
+        inv = MAX_SEQNO - record.seqno
+        last_key = self._last_key
+        if last_key is not None and (
+            key < last_key or (key == last_key and inv <= self._last_inv)
+        ):
+            raise ValueError(
+                f"records out of order: {key!r}@{record.seqno} "
+                f"after {last_key!r}@{MAX_SEQNO - self._last_inv}"
+            )
+        self._last_key = key
+        self._last_inv = inv
         self._records.append(record)
-        self._payload_bytes += record.encoded_size()
+        # Inlined record.encoded_size(): header + key + value, plus the
+        # restart offset this record adds to the trailer.
+        self._estimated += _PER_RECORD + len(key) + len(record.value)
 
     def is_full(self) -> bool:
-        return self.estimated_bytes >= self.target_bytes
+        return self._estimated >= self.target_bytes
 
     @property
     def first_key(self) -> bytes | None:
@@ -93,7 +109,9 @@ class DataBlockBuilder:
             parts.append(struct.pack(f"<{len(offsets)}I", *offsets))
         parts.append(_COUNT.pack(len(self._records)))
         self._records = []
-        self._payload_bytes = 0
+        self._estimated = _COUNT.size
+        self._last_key = None
+        self._last_inv = 0
         return b"".join(parts)
 
 
@@ -108,9 +126,9 @@ class DataBlock:
     point-read and scan paths parses each representation at most once.
     """
 
-    __slots__ = ("buf", "count", "offsets", "records_end", "_records")
+    __slots__ = ("buf", "count", "offsets", "records_end", "_records", "_peeked")
 
-    def __init__(self, buf: bytes) -> None:
+    def __init__(self, buf: bytes | memoryview) -> None:
         if len(buf) < _COUNT.size:
             raise CorruptionError("truncated data block")
         (count,) = _COUNT.unpack_from(buf, len(buf) - _COUNT.size)
@@ -128,12 +146,22 @@ class DataBlock:
         self.offsets = offsets
         self.records_end = records_end
         self._records: list[Record] | None = None
+        #: index -> user key, filled by binary-search peeks. Repeated
+        #: point searches of a hot cached block revisit the same probe
+        #: positions (the midpoints are a function of ``count`` alone),
+        #: so memoizing them turns the steady-state search into pure
+        #: dict hits — and makes memoryview-backed blocks (which would
+        #: otherwise pay a bytes() per peek) as fast as bytes-backed.
+        self._peeked: dict[int, bytes] = {}
 
     def __len__(self) -> int:
         return self.count
 
     def _key_at(self, index: int) -> bytes:
         """The user key of record ``index``, without building a Record."""
+        key = self._peeked.get(index)
+        if key is not None:
+            return key
         offset = self.offsets[index]
         if offset + _REC_HEADER.size > self.records_end:
             raise CorruptionError(f"truncated record header at offset {offset}")
@@ -142,6 +170,9 @@ class DataBlock:
         key = self.buf[start : start + key_len]
         if len(key) != key_len:
             raise CorruptionError(f"truncated record key at offset {offset}")
+        if type(key) is not bytes:
+            key = bytes(key)
+        self._peeked[index] = key
         return key
 
     def search(self, user_key: bytes) -> Record | None:
@@ -155,14 +186,15 @@ class DataBlock:
         records = self._records
         if records is not None:
             return search_block(records, user_key)
+        key_at = self._key_at
         lo, hi = 0, self.count
         while lo < hi:
             mid = (lo + hi) // 2
-            if self._key_at(mid) < user_key:
+            if key_at(mid) < user_key:
                 lo = mid + 1
             else:
                 hi = mid
-        if lo < self.count and self._key_at(lo) == user_key:
+        if lo < self.count and key_at(lo) == user_key:
             record, _ = Record.decode_from(self.buf, self.offsets[lo])
             return record
         return None
@@ -171,9 +203,15 @@ class DataBlock:
         """The full decoded record list (memoized)."""
         records = self._records
         if records is None:
+            buf = self.buf
+            if type(buf) is not bytes:
+                # Bulk decode slices two fields per record; against a
+                # memoryview each slice would pay an extra allocation.
+                # One flat bytes() of the block is cheaper than ~80
+                # small conversions and happens at most once per block.
+                buf = bytes(buf)
             records = []
             offset = 0
-            buf = self.buf
             decode_from = Record.decode_from
             for index in range(self.count):
                 if offset != self.offsets[index]:
@@ -194,6 +232,38 @@ class DataBlock:
 def decode_block(buf: bytes) -> list[Record]:
     """Parse a serialized data block back into its record list."""
     return DataBlock(buf).records()
+
+
+def extend_records_from(
+    buf: bytes, base: int, length: int, out: list[Record]
+) -> None:
+    """Append all records of the block at ``buf[base : base + length]``.
+
+    The zero-copy bulk path for compaction input scans: the caller hands
+    the *whole file's* bytes plus the block's index-entry coordinates,
+    and records are decoded in place — no per-block slice, no offset
+    array parse (a sequential walk needs only the count; the end-position
+    check below still catches any framing mismatch).
+    """
+    end = base + length
+    if length < _COUNT.size or end > len(buf):
+        raise CorruptionError("truncated data block")
+    (count,) = _COUNT.unpack_from(buf, end - _COUNT.size)
+    records_end = end - _COUNT.size - count * _OFFSET.size
+    if records_end < base:
+        raise CorruptionError(
+            f"truncated restart array: {count} records, {length} bytes"
+        )
+    offset = base
+    decode_from = Record.decode_from
+    append = out.append
+    for _ in range(count):
+        record, offset = decode_from(buf, offset)
+        append(record)
+    if offset != records_end:
+        raise CorruptionError(
+            f"trailing garbage in data block: {records_end - offset} bytes"
+        )
 
 
 def search_block(records: list[Record], user_key: bytes) -> Record | None:

@@ -18,6 +18,24 @@ from repro.errors import CorruptionError
 
 _HEADER = struct.Struct("<IB")  # bit count, probe count
 
+#: key -> fnv1a_64(key), shared by every filter. The same (interned) key
+#: bytes are hashed by every flush, compaction build, and read-path probe
+#: that touches them; the base hash is a pure function of the key, so one
+#: computation serves them all. Capped so an unbounded keyspace cannot
+#: pin memory; past the cap, misses simply recompute.
+_HASH_CACHE: dict[bytes, int] = {}
+_HASH_CACHE_MAX = 1 << 20
+
+
+def _base_hash(key: bytes) -> int:
+    """Memoized FNV-1a base hash (see :data:`_HASH_CACHE`)."""
+    base = _HASH_CACHE.get(key)
+    if base is None:
+        base = fnv1a_64(key)
+        if len(_HASH_CACHE) < _HASH_CACHE_MAX:
+            _HASH_CACHE[key] = base
+    return base
+
 
 class BloomFilter:
     """A serializable bloom filter over byte-string keys."""
@@ -63,14 +81,14 @@ class BloomFilter:
         inline this double-hashing loop instead of consuming a generator:
         a Python generator frame per probe costs more than the probes.
         """
-        base = fnv1a_64(key)
+        base = _base_hash(key)
         h1 = base & 0xFFFFFFFF
         h2 = (base >> 32) | 1  # odd delta => full-period probing
         for i in range(self._n_probes):
             yield (h1 + i * h2) % self._n_bits
 
     def add(self, key: bytes) -> None:
-        base = fnv1a_64(key)
+        base = _base_hash(key)
         h2 = (base >> 32) | 1
         n_bits = self._n_bits
         bits = self._bits
@@ -91,8 +109,15 @@ class BloomFilter:
         n_probes = self._n_probes
         bits = self._bits
         hash_fn = fnv1a_64
+        cache = _HASH_CACHE
+        cache_get = cache.get
+        cache_max = _HASH_CACHE_MAX
         for key in keys:
-            base = hash_fn(key)
+            base = cache_get(key)
+            if base is None:
+                base = hash_fn(key)
+                if len(cache) < cache_max:
+                    cache[key] = base
             h2 = (base >> 32) | 1
             h = base & 0xFFFFFFFF
             for _ in range(n_probes):
@@ -102,7 +127,7 @@ class BloomFilter:
 
     def may_contain(self, key: bytes) -> bool:
         """False means *definitely absent*; True means possibly present."""
-        base = fnv1a_64(key)
+        base = _base_hash(key)
         h2 = (base >> 32) | 1
         n_bits = self._n_bits
         bits = self._bits

@@ -38,11 +38,15 @@ from repro.lsm.block_cache import BlockCache
 from repro.lsm.iterators import merge_sorted_lists
 from repro.lsm.layout import StorageLayout
 from repro.lsm.options import DBOptions
-from repro.lsm.record import Record
+from repro.lsm.record import Record, ValueKind
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.version import LevelManifest
 from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
 from repro.storage.backend import StorageBackend
+
+#: Hoisted enum member for the merge loops' tombstone checks; an ``is``
+#: test against it avoids the ``is_tombstone`` property call per record.
+_DELETE = ValueKind.DELETE
 
 
 class CompactionPicker(abc.ABC):
@@ -443,7 +447,7 @@ class CompactionExecutor:
                     pulled_counter.inc()
                 upper_writer.add(record)
                 continue
-            if record.is_tombstone and bottom:
+            if bottom and record.kind is _DELETE:
                 self.stats.tombstones_dropped += 1
                 dropped_counter.inc()
                 continue
@@ -513,6 +517,7 @@ class CompactionExecutor:
         pinned_counter = self.metrics.counter("compaction.records", kind="pinned")
         dropped_counter = self.metrics.counter("compaction.records", kind="tombstone_dropped")
         last_key: bytes | None = None
+        drop_tombstones = job.drop_tombstones
         for record in merge_sorted_lists(sources):
             user_key = record.user_key
             if user_key == last_key:
@@ -527,7 +532,7 @@ class CompactionExecutor:
                 pinned_counter.inc()
                 upper_writer.add(record)
                 continue
-            if record.is_tombstone and job.drop_tombstones:
+            if drop_tombstones and record.kind is _DELETE:
                 self.stats.tombstones_dropped += 1
                 dropped_counter.inc()
                 continue

@@ -41,10 +41,18 @@ from repro.obs import MetricsRegistry, Tracer
 from repro.storage.backend import StorageBackend
 from repro.storage.device import DRAM_SPEC
 
+_DELETE = ValueKind.DELETE
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True)
 class ReadResult:
-    """Outcome of a point lookup."""
+    """Outcome of a point lookup.
+
+    Result objects are built once per operation — the hottest allocation
+    in the engine after records — so they use ``slots=True`` and skip
+    ``frozen`` (frozen construction routes through
+    ``object.__setattr__``); they are immutable by convention.
+    """
 
     value: bytes | None
     latency_usec: float
@@ -58,7 +66,7 @@ class ReadResult:
         return self.value is not None
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class WriteResult:
     """Outcome of a put/delete."""
 
@@ -67,7 +75,7 @@ class WriteResult:
     triggered_compactions: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ScanResult:
     """Outcome of a range scan."""
 
@@ -137,6 +145,11 @@ class LsmDB:
         self.row_cache = RowCache(self.options.row_cache_bytes)
         if self.options.row_cache_bytes:
             self.row_cache.bind_observability(self.metrics)
+        # Options consulted once per operation, cached as plain attributes
+        # so the hot paths skip the dataclass attribute walk.
+        self._row_cache_enabled = bool(self.options.row_cache_bytes)
+        self._memtable_limit = self.options.memtable_bytes
+        self._cpu_overhead = self.options.cpu_overhead_usec
         #: The compaction shape+trigger composite; an explicit instance
         #: wins, otherwise DBOptions.compaction_shape/_trigger select one.
         self.strategy = strategy or make_strategy(self.options)
@@ -225,24 +238,25 @@ class LsmDB:
 
     def _write(self, record: Record, ctx=None) -> WriteResult:
         self._check_open()
-        latency = self.options.cpu_overhead_usec
+        latency = self._cpu_overhead
         if ctx is not None and latency:
             ctx.add("cpu", "-", latency)
         if self.wal is not None:
             latency += self.wal.append(record, ctx=ctx)
         self.row_cache.invalidate(record.user_key)
         self._memtable.add(record)
-        memtable_latency = DRAM_SPEC.write_time_usec(record.encoded_size())
+        encoded_size = record.encoded_size()
+        memtable_latency = DRAM_SPEC.write_time_usec(encoded_size)
         if ctx is not None:
             ctx.add("memtable", "dram", memtable_latency)
         latency += memtable_latency
         self.stats.user_writes += 1
-        self.stats.user_write_bytes += record.encoded_size()
+        self.stats.user_write_bytes += encoded_size
         self._obs_user_writes.inc()
-        self._obs_user_write_bytes.inc(record.encoded_size())
+        self._obs_user_write_bytes.inc(encoded_size)
         flushed = False
         compactions = 0
-        if self._memtable.approximate_bytes >= self.options.memtable_bytes:
+        if self._memtable.approximate_bytes >= self._memtable_limit:
             self._flush_memtable()
             flushed = True
             compactions = self.executor.maybe_compact()
@@ -375,7 +389,7 @@ class LsmDB:
         the simulated latency itself.
         """
         self._check_open()
-        latency = self.options.cpu_overhead_usec
+        latency = self._cpu_overhead
         if ctx is not None and latency:
             ctx.add("cpu", "-", latency)
         result = None
@@ -388,13 +402,13 @@ class LsmDB:
                 ctx.add("memtable", "dram", memtable_latency)
             latency += memtable_latency
             result = ReadResult(
-                None if record.is_tombstone else record.value,
+                None if record.kind is _DELETE else record.value,
                 latency,
                 "memtable",
                 seqno=record.seqno,
             )
         else:
-            if self.options.row_cache_bytes:
+            if self._row_cache_enabled:
                 row_hit, row_value, row_seqno, row_latency = self.row_cache.lookup(
                     user_key, ctx
                 )
@@ -423,7 +437,7 @@ class LsmDB:
                         break
                 if found is not None:
                     result = ReadResult(
-                        None if found.is_tombstone else found.value,
+                        None if found.kind is _DELETE else found.value,
                         latency,
                         f"L{level}",
                         seqno=found.seqno,
@@ -431,7 +445,7 @@ class LsmDB:
                     break
             if result is None:
                 result = ReadResult(None, latency, "miss")
-            if self.options.row_cache_bytes:
+            if self._row_cache_enabled:
                 # Remember what the tree walk resolved (value or absence).
                 self.row_cache.insert(user_key, result.value, result.seqno or 0)
 
@@ -453,7 +467,7 @@ class LsmDB:
         self._check_open()
         if count < 0:
             raise ValueError(f"negative scan count: {count}")
-        latency = self.options.cpu_overhead_usec
+        latency = self._cpu_overhead
         if ctx is not None and latency:
             ctx.add("cpu", "-", latency)
         latencies = [0.0]

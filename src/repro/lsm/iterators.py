@@ -31,7 +31,7 @@ import heapq
 from operator import attrgetter
 from typing import Iterable, Iterator
 
-from repro.lsm.record import MAX_SEQNO, Record
+from repro.lsm.record import MAX_SEQNO, Record, ValueKind
 
 _BY_SEQNO = attrgetter("seqno")
 _BY_USER_KEY = attrgetter("user_key")
@@ -95,6 +95,7 @@ def visible_records(merged: Iterable[Record]) -> Iterator[Record]:
     This is the read-path view used by range scans: a key whose newest
     version is a DELETE simply does not exist.
     """
+    delete = ValueKind.DELETE
     for record in newest_versions(merged):
-        if not record.is_tombstone:
+        if record.kind is not delete:
             yield record

@@ -6,25 +6,40 @@ user key (the simulator exposes no snapshot reads, so shadowed in-memory
 versions would never be observable; the flushed SSTable therefore carries
 exactly one version per key, as a RocksDB flush with default settings
 effectively does after its own dedup).
+
+The container is a plain dict plus a memoized sorted-key array. The
+simulator's access pattern makes this strictly better than the skiplist
+it replaces: the write path needs hashed point access (O(1) vs the
+skiplist's O(log n) pointer chase per insert), while sorted order is only
+demanded in bulk — at flush, or by a scan — where one C-level ``sorted``
+over the keys amortizes to far less than per-insert ordering. Updates to
+an existing key never invalidate the memo; only a brand-new key does.
+The ``seed`` parameter is retained for construction-site compatibility
+(the skiplist needed it for tower heights; a dict draws nothing).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterator
 
 from repro.lsm.record import Record, ValueKind
-from repro.lsm.skiplist import SkipList
 
 
 class Memtable:
-    """Skiplist-backed buffer of the newest un-flushed writes."""
+    """Hash-backed buffer of the newest un-flushed writes."""
+
+    __slots__ = ("_records", "_sorted_keys", "_approx_bytes")
 
     def __init__(self, seed: int = 0) -> None:
-        self._table = SkipList(seed=seed)
+        self._records: dict[bytes, Record] = {}
+        #: Ascending user keys, memoized; None when a new key was added
+        #: since the last sort.
+        self._sorted_keys: list[bytes] | None = []
         self._approx_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._table)
+        return len(self._records)
 
     @property
     def approximate_bytes(self) -> int:
@@ -33,7 +48,9 @@ class Memtable:
 
     def add(self, record: Record) -> None:
         """Insert a PUT or DELETE record, replacing any older version."""
-        previous: Record | None = self._table.get(record.user_key)
+        records = self._records
+        key = record.user_key
+        previous = records.get(key)
         if previous is not None:
             if previous.seqno >= record.seqno:
                 raise ValueError(
@@ -41,29 +58,43 @@ class Memtable:
                     f"seqno {record.seqno} after {previous.seqno}"
                 )
             self._approx_bytes -= previous.encoded_size()
-        self._table.insert(record.user_key, record)
+        else:
+            self._sorted_keys = None
+        records[key] = record
         self._approx_bytes += record.encoded_size()
+
+    def _ordered_keys(self) -> list[bytes]:
+        keys = self._sorted_keys
+        if keys is None:
+            keys = self._sorted_keys = sorted(self._records)
+        return keys
 
     def get(self, user_key: bytes) -> Record | None:
         """Return the newest record for ``user_key`` (may be a tombstone)."""
-        return self._table.get(user_key)
+        return self._records.get(user_key)
 
     def scan_from(self, user_key: bytes) -> Iterator[Record]:
         """Records with user key >= ``user_key`` in ascending order."""
-        for _, record in self._table.seek_ceiling(user_key):
-            yield record
+        keys = self._ordered_keys()
+        records = self._records
+        for index in range(bisect_left(keys, user_key), len(keys)):
+            yield records[keys[index]]
 
     def records(self) -> Iterator[Record]:
         """All records in ascending user-key order (flush order)."""
-        for _, record in self._table.items():
-            yield record
+        records = self._records
+        for key in self._ordered_keys():
+            yield records[key]
 
     def smallest_key(self) -> bytes | None:
-        return self._table.first_key()
+        keys = self._ordered_keys()
+        return keys[0] if keys else None
 
     def largest_key(self) -> bytes | None:
-        return self._table.last_key()
+        keys = self._ordered_keys()
+        return keys[-1] if keys else None
 
     def live_entry_count(self) -> int:
         """Number of non-tombstone entries currently buffered."""
-        return sum(1 for record in self.records() if record.kind == ValueKind.PUT)
+        put = ValueKind.PUT
+        return sum(1 for record in self._records.values() if record.kind == put)

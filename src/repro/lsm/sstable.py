@@ -21,10 +21,10 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import CorruptionError
-from repro.lsm.block import DataBlock, DataBlockBuilder
+from repro.lsm.block import DataBlock, DataBlockBuilder, extend_records_from
 from repro.lsm.block_cache import BlockCache, BlockType
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.record import Record
+from repro.lsm.record import Record, ValueKind
 from repro.storage.backend import SimFile, StorageBackend
 from repro.storage.device import DRAM_SPEC
 from repro.storage.tier import StorageTier
@@ -44,6 +44,10 @@ _FOOTER_MAGIC = 0x5052534D  # "PRSM"
 #: Score assigned to keys absent from the tracker (§4.3).
 UNTRACKED_CLOCK_VALUE = -1
 
+#: Hoisted enum member: ``record.kind is _DELETE`` on the build loop
+#: avoids the ``is_tombstone`` property-descriptor call per record.
+_DELETE = ValueKind.DELETE
+
 
 @dataclass(frozen=True)
 class IndexEntry:
@@ -62,12 +66,13 @@ def encode_index(entries: list[IndexEntry]) -> bytes:
     return b"".join(parts)
 
 
-def decode_index(buf: bytes) -> list[IndexEntry]:
+def decode_index(buf: bytes | memoryview) -> list[IndexEntry]:
     if len(buf) < _INDEX_COUNT.size:
         raise CorruptionError("truncated index block")
     (count,) = _INDEX_COUNT.unpack_from(buf, 0)
     entries: list[IndexEntry] = []
     pos = _INDEX_COUNT.size
+    is_view = type(buf) is not bytes
     for _ in range(count):
         if pos + _INDEX_ENTRY.size > len(buf):
             raise CorruptionError("truncated index entry")
@@ -77,7 +82,9 @@ def decode_index(buf: bytes) -> list[IndexEntry]:
         if len(last_key) != key_len:
             raise CorruptionError("truncated index key")
         pos += key_len
-        entries.append(IndexEntry(last_key, offset, length))
+        # Index keys feed bisect comparisons, which memoryview slices do
+        # not support; keep them as real bytes.
+        entries.append(IndexEntry(bytes(last_key) if is_view else last_key, offset, length))
     return entries
 
 
@@ -250,15 +257,22 @@ class SSTable:
                 pending_latency = 0.0
 
     def read_all_records(self, *, foreground: bool = False) -> tuple[list[Record], float]:
-        """Sequentially read every record (compaction input scan)."""
-        data, latency = self._backend.read(self.file, 0, self.data_length, foreground=foreground)
+        """Sequentially read every record (compaction input scan).
+
+        Zero-copy: records are decoded directly out of the file's own
+        buffer at the offsets the index gives — no per-block slice is
+        ever materialized.
+        """
+        _, latency = self._backend.read(self.file, 0, self.data_length, foreground=foreground)
+        # The data region starts at byte 0, so index offsets are file
+        # offsets: decode straight from the file's immutable bytes.
+        data = self.file.data
         records: list[Record] = []
         # Blocks are parsed via the index so boundaries are exact.
         index, index_latency = self._index_from_disk(foreground=foreground)
         latency += index_latency
         for entry in index:
-            block = DataBlock(data[entry.offset : entry.offset + entry.length])
-            records.extend(block.records())
+            extend_records_from(data, entry.offset, entry.length, records)
         return records, latency
 
     def _index_from_disk(self, *, foreground: bool) -> tuple[list[IndexEntry], float]:
@@ -313,8 +327,12 @@ class SSTable:
             created_at_usec,
         ) = _FOOTER_FIXED.unpack_from(footer_bytes, 0)
         keys_start = _FOOTER_FIXED.size
-        smallest_key = footer_bytes[keys_start : keys_start + smallest_len]
-        largest_key = footer_bytes[keys_start + smallest_len : keys_start + smallest_len + largest_len]
+        # footer_bytes is a zero-copy view; boundary keys live on in the
+        # table handle (and in key comparisons), so pin them as bytes.
+        smallest_key = bytes(footer_bytes[keys_start : keys_start + smallest_len])
+        largest_key = bytes(
+            footer_bytes[keys_start + smallest_len : keys_start + smallest_len + largest_len]
+        )
         return SSTable(
             backend,
             file,
@@ -384,13 +402,14 @@ class SSTableBuilder:
         return self.estimated_bytes >= self.target_file_bytes
 
     def add(self, record: Record) -> None:
+        key = record.user_key
         if self._smallest is None:
-            self._smallest = record.user_key
-        self._largest = record.user_key
+            self._smallest = key
+        self._largest = key
         self._block.add(record)
-        self._keys.append(record.user_key)
+        self._keys.append(key)
         self._entry_count += 1
-        if record.is_tombstone:
+        if record.kind is _DELETE:
             self._tombstones += 1
         if record.seqno > self._max_seqno:
             self._max_seqno = record.seqno

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import re
+from bisect import bisect_left
 from typing import Iterator
 
 from repro.common.stats import LatencySummary
@@ -160,16 +161,9 @@ class Histogram:
     def observe(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"negative observation: {value}")
-        # Bisect over fixed bounds; linear scan would also do for ~28
-        # buckets but bisect keeps the hot path O(log n).
-        lo, hi = 0, len(self.bounds)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if value <= self.bounds[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        self.bucket_counts[lo] += 1
+        # C-implemented bisect over fixed bounds; an observation lands in
+        # the first bucket whose upper edge is >= value.
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
         if value < self.minimum:

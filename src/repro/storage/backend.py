@@ -29,18 +29,32 @@ from repro.storage.tier import StorageTier
 class SimFile:
     """One immutable simulated file resident on a tier."""
 
-    __slots__ = ("file_id", "tier", "data", "locked_until_usec", "deleted")
+    __slots__ = ("file_id", "tier", "_data", "view", "locked_until_usec", "deleted")
 
     def __init__(self, file_id: int, tier: StorageTier, data: bytes) -> None:
         self.file_id = file_id
         self.tier = tier
-        self.data = data
+        self._data = data
+        #: Reusable zero-copy window over ``data``; block reads slice it
+        #: instead of copying the byte range. Kept in sync with ``data``
+        #: by the setter (file contents only change under failure
+        #: injection, which swaps in corrupted bytes wholesale).
+        self.view = memoryview(data)
         self.locked_until_usec = 0.0
         self.deleted = False
 
     @property
+    def data(self) -> bytes:
+        return self._data
+
+    @data.setter
+    def data(self, data: bytes) -> None:
+        self._data = data
+        self.view = memoryview(data)
+
+    @property
     def size(self) -> int:
-        return len(self.data)
+        return len(self._data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimFile(id={self.file_id}, tier={self.tier.name}, {self.size} B)"
@@ -132,8 +146,14 @@ class StorageBackend:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def read(self, file: SimFile, offset: int, length: int, *, foreground: bool = True, ctx=None) -> tuple[bytes, float]:
+    def read(self, file: SimFile, offset: int, length: int, *, foreground: bool = True, ctx=None) -> tuple[bytes | memoryview, float]:
         """Read ``length`` bytes at ``offset``; returns (data, latency).
+
+        The returned data is zero-copy: a whole-file read hands back the
+        file's own immutable ``bytes`` object, a partial read a
+        ``memoryview`` slice of it. Callers that need an independent
+        ``bytes`` (rare — decoders slice out exactly the fields they
+        keep) must convert explicitly.
 
         ``ctx`` (an :class:`~repro.obs.attribution.OpContext`) attributes
         the device time to the requesting component and any mid-migration
@@ -155,9 +175,11 @@ class StorageBackend:
                 ctx.add("migration_stall", file.tier.name, stall)
         latency = file.tier.device.read(length, foreground=foreground, ctx=ctx) + stall
         self._tally(file.tier, length, is_read=True, foreground=foreground)
-        return file.data[offset : offset + length], latency
+        if offset == 0 and length == len(file.data):
+            return file.data, latency
+        return file.view[offset : offset + length], latency
 
-    def read_all(self, file: SimFile, *, foreground: bool = False) -> tuple[bytes, float]:
+    def read_all(self, file: SimFile, *, foreground: bool = False) -> tuple[bytes | memoryview, float]:
         """Read an entire file (compaction input scans)."""
         return self.read(file, 0, file.size, foreground=foreground)
 

@@ -1,7 +1,15 @@
 """YCSB-style workload generators."""
 
+from repro.workloads.interning import KeyInterner
 from repro.workloads.trace import TraceWorkload, dump_trace, load_trace
-from repro.workloads.ycsb import OpKind, Request, YCSBConfig, YCSBWorkload
+from repro.workloads.ycsb import (
+    OpKind,
+    Request,
+    RequestBatch,
+    YCSBConfig,
+    YCSBWorkload,
+    batches_from_requests,
+)
 from repro.workloads.zipfian import (
     KeyIndexGenerator,
     LatestGenerator,
@@ -12,13 +20,16 @@ from repro.workloads.zipfian import (
 )
 
 __all__ = [
+    "KeyInterner",
     "TraceWorkload",
     "dump_trace",
     "load_trace",
     "OpKind",
     "Request",
+    "RequestBatch",
     "YCSBConfig",
     "YCSBWorkload",
+    "batches_from_requests",
     "KeyIndexGenerator",
     "LatestGenerator",
     "ScrambledZipfianGenerator",

@@ -1,0 +1,62 @@
+"""Key interning: one bytes object (and one dense int) per distinct key.
+
+The workload generators draw the same hot keys over and over — a zipfian
+0.99 run of 10^6 requests touches a few thousand keys for the bulk of its
+traffic — yet the stream formerly re-formatted and re-encoded
+``"user%012d" % index`` for every draw. Interning memoizes index ->
+key-bytes so each distinct key is built exactly once and every later
+occurrence is the *same* ``bytes`` object.
+
+Identity-stable keys speed up the whole engine, not just generation:
+CPython caches a ``bytes`` object's hash in-object, so memtable / row
+cache / tracker dict operations hash each hot key once for the life of
+the run, and equality checks on dict probes short-circuit on pointer
+identity. The wire format is untouched — blocks still store the raw key
+bytes — which is what keeps simulated results bit-identical.
+
+``id_for`` additionally exposes a dense ``0..n-1`` int per distinct key
+(assigned in first-seen order), for callers that want array-indexed
+per-key state instead of a dict keyed by bytes.
+"""
+
+from __future__ import annotations
+
+
+class KeyInterner:
+    """Memoizes ``index -> key bytes`` for one fixed key format.
+
+    ``max_size`` bounds the memo so a huge uniformly-distributed keyspace
+    cannot hold every key alive: past the cap, misses fall back to
+    formatting on the fly (correct, just not identity-stable).
+    """
+
+    __slots__ = ("_format", "_by_index", "_ids", "max_size")
+
+    def __init__(self, fmt: str = "user%012d", max_size: int = 1 << 21) -> None:
+        if max_size <= 0:
+            raise ValueError(f"max_size must be positive: {max_size}")
+        self._format = fmt
+        self._by_index: dict[int, bytes] = {}
+        self._ids: dict[bytes, int] = {}
+        self.max_size = max_size
+
+    def __len__(self) -> int:
+        return len(self._by_index)
+
+    def key(self, index: int) -> bytes:
+        """The canonical bytes object for key ``index``."""
+        table = self._by_index
+        cached = table.get(index)
+        if cached is None:
+            cached = (self._format % index).encode("ascii")
+            if len(table) < self.max_size:
+                table[index] = cached
+        return cached
+
+    def id_for(self, key: bytes) -> int:
+        """A dense int id for ``key``, assigned in first-seen order."""
+        ids = self._ids
+        dense = ids.get(key)
+        if dense is None:
+            dense = ids[key] = len(ids)
+        return dense

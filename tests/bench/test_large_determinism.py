@@ -1,0 +1,60 @@
+"""Million-key determinism smoke, pinned to a committed digest.
+
+The always-on smoke determinism test covers 3k records / 5k ops; this
+slow-marked companion loads a million-key keyspace and runs 100k ops on
+each of the three systems with the same seed, then hashes every
+comparable scalar metric of all three runs into one digest. Any change
+to simulated behaviour that only manifests at scale — level-spill
+patterns, compaction cascades, cache churn the small run never reaches —
+shows up as a digest mismatch here.
+
+Run it explicitly (several minutes of wall-clock):
+
+    PYTHONPATH=src python -m pytest -m slow tests/bench/test_large_determinism.py
+
+If a change to simulated behaviour is *intentional*, recompute the
+digest by running the test and copying the value from the assertion
+message into ``EXPECTED_DIGEST``.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.bench.compare import comparable_scalars
+from repro.bench.harness import SystemConfig, run_experiment
+from repro.workloads.ycsb import YCSBConfig
+
+LARGE_RECORDS = 1_000_000
+LARGE_OPS = 100_000
+LARGE_SEED = 0
+
+#: sha256 over the sorted-key JSON of {system: comparable_scalars(run)}.
+EXPECTED_DIGEST = "89a3085e1068f94f6d6c4c66cafcc986000c0bd39b30ff50bb0033c3c0b2326d"
+
+
+def _digest(scalars_by_system: dict[str, dict[str, float]]) -> str:
+    payload = json.dumps(scalars_by_system, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.slow
+def test_million_key_runs_match_committed_digest():
+    scalars_by_system = {}
+    for system in ("rocksdb", "prismdb", "mutant"):
+        config = SystemConfig(system=system, layout_code="NNNTQ", seed=LARGE_SEED)
+        workload = YCSBConfig.read_update(
+            50,
+            record_count=LARGE_RECORDS,
+            operation_count=LARGE_OPS,
+            seed=LARGE_SEED,
+        )
+        result = run_experiment(config, workload, label=f"large/{system}")
+        scalars_by_system[system] = comparable_scalars(result)
+    digest = _digest(scalars_by_system)
+    assert digest == EXPECTED_DIGEST, (
+        "million-key simulated metrics drifted from the committed digest "
+        f"(got {digest}); if the behaviour change is intentional, update "
+        "EXPECTED_DIGEST in this test"
+    )

@@ -1,0 +1,18 @@
+"""Shared pytest wiring.
+
+``slow``-marked tests (multi-minute simulation runs) are skipped unless
+explicitly selected with ``-m slow`` — they exist to catch determinism
+drift at scale, not to run in every unit pass.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    markexpr = config.option.markexpr or ""
+    if "slow" in markexpr:
+        return
+    skip_slow = pytest.mark.skip(reason="slow-marked; select with -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
