@@ -73,6 +73,18 @@ if ! explain_smoke; then
     echo "explain-smoke failed (non-gating); continuing"
 fi
 
+# Non-gating: sharded-fleet smoke. A 2-shard fleet through the
+# consistent-hash router, device-pool overlay and merge path, fanned
+# out over 2 worker processes — exercising the multiprocessing path
+# itself. Determinism (jobs=1 == jobs=N, committed digests) is gated by
+# tests/fleet/; this smoke only proves the CLI runs end to end.
+echo "== fleet-smoke (non-gating) =="
+if ! python -m repro.bench fleet --shards 2 --tenants 2 \
+        --keys-per-tenant 1000 --ops 3000 --jobs 2 \
+        --sample-interval-ms 0.5; then
+    echo "fleet-smoke failed (non-gating); continuing"
+fi
+
 # Opt-in perf gate: smoke-runs every system, appends a trajectory point
 # to BENCH_SMOKE.json, and fails on regressions beyond tolerance vs the
 # committed baselines. Enable with REPRO_PERF_GATE=1; tune the allowed

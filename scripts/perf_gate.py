@@ -3,7 +3,8 @@
 
 Invoked from ``scripts/check.sh`` when ``REPRO_PERF_GATE`` is set (any
 value but ``0``). For each system (rocksdb / prismdb / mutant) it runs a
-small seeded YCSB-A workload with timeline sampling on, then:
+small seeded YCSB-A workload with timeline sampling on — plus a 4-shard
+``fleet`` smoke through the router/pool/merge path — then:
 
 1. writes the full run artifact to
    ``benchmarks/results/smoke_<system>.json``;
@@ -51,6 +52,26 @@ def smoke_run(system: str, *, records: int, ops: int, seed: int) -> RunResult:
     return run_experiment(
         config, workload, label=f"smoke/{system}", sample_interval_ms=5.0
     )
+
+
+def fleet_smoke_run(*, seed: int, jobs: int) -> RunResult:
+    """The 4-shard fleet smoke: router + pool + merge, gated like a system.
+
+    Results are bit-identical for any ``jobs`` value, so the gate's
+    baseline is valid regardless of how many workers ran it.
+    """
+    from repro.fleet.runner import FleetConfig, default_tenants, run_fleet
+
+    config = FleetConfig(
+        shards=4,
+        tenants=default_tenants(2, keys_per_tenant=1_500),
+        total_operations=6_000,
+        seed=seed,
+        # Smoke shards simulate only a few ms; sample sub-ms so the
+        # merged timeline has rows and the device pool sees real bytes.
+        sample_interval_ms=0.5,
+    )
+    return run_fleet(config, jobs=jobs)
 
 
 def git_commit() -> str:
@@ -109,26 +130,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--rebaseline", action="store_true",
                         help="overwrite the committed baselines with this run")
+    parser.add_argument("--fleet-jobs", type=int, default=1,
+                        help="worker processes for the fleet smoke (results "
+                             "are jobs-invariant; default: 1)")
     args = parser.parse_args(argv)
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     results: dict[str, RunResult] = {}
     wall_clock: dict[str, float] = {}
     failed = False
-    for system in SYSTEMS:
-        started = time.perf_counter()
-        result = smoke_run(
-            system, records=args.records, ops=args.ops, seed=args.seed
-        )
-        wall_clock[system] = time.perf_counter() - started
-        results[system] = result
-        smoke_path = os.path.join(RESULTS_DIR, f"smoke_{system}.json")
+
+    def gate(name: str, result: RunResult) -> None:
+        nonlocal failed
+        results[name] = result
+        smoke_path = os.path.join(RESULTS_DIR, f"smoke_{name}.json")
         result.save(smoke_path)
-        baseline_path = os.path.join(RESULTS_DIR, f"baseline_{system}.json")
+        baseline_path = os.path.join(RESULTS_DIR, f"baseline_{name}.json")
         if args.rebaseline or not os.path.exists(baseline_path):
             shutil.copyfile(smoke_path, baseline_path)
-            print(f"[perf-gate] {system}: baseline written to {baseline_path}")
-            continue
+            print(f"[perf-gate] {name}: baseline written to {baseline_path}")
+            return
         baseline = RunResult.load(baseline_path)
         diffs = compare_results(baseline, result, tolerance_pct=args.tolerance)
         bad = regressions(diffs)
@@ -137,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
             headers, rows = comparison_table(diffs, only_drift=True)
             print(
                 format_experiment(
-                    f"[perf-gate] {system}: REGRESSION vs {baseline_path}",
+                    f"[perf-gate] {name}: REGRESSION vs {baseline_path}",
                     headers,
                     rows,
                     notes=f"{len(bad)} metric(s) beyond {args.tolerance:g}% tolerance",
@@ -145,11 +166,28 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print(
-                f"[perf-gate] {system}: ok "
+                f"[perf-gate] {name}: ok "
                 f"({result.throughput_kops:.1f} kops, "
                 f"read p99 {result.read_latency.p99:.1f} us, "
                 f"WA {result.write_amplification:.2f})"
             )
+
+    for system in SYSTEMS:
+        started = time.perf_counter()
+        result = smoke_run(
+            system, records=args.records, ops=args.ops, seed=args.seed
+        )
+        wall_clock[system] = time.perf_counter() - started
+        gate(system, result)
+
+    # The fleet smoke rides the same gate: its merged artifact compares
+    # like any system's, and its wall clock lands in the trajectory so
+    # the fan-out path's simulator speed is tracked per PR.
+    started = time.perf_counter()
+    fleet_result = fleet_smoke_run(seed=args.seed, jobs=args.fleet_jobs)
+    wall_clock["fleet"] = time.perf_counter() - started
+    gate("fleet", fleet_result)
+
     append_trajectory_point(results, wall_clock)
     print(f"[perf-gate] trajectory point appended to {SMOKE_FILE}")
     return 1 if failed else 0

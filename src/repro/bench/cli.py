@@ -71,7 +71,7 @@ DEFAULT_TIMELINE_SERIES = (
     "l0.files",
 )
 
-SUBCOMMANDS = ("run", "report", "timeline", "compare", "explain", "micro", "sweep", "list")
+SUBCOMMANDS = ("run", "report", "timeline", "compare", "explain", "micro", "sweep", "fleet", "list")
 
 
 def _print_listing() -> None:
@@ -89,6 +89,8 @@ def _print_listing() -> None:
           " artifact or diff two")
     print("  sweep                  Compaction design-space grid"
           " (shapes x mixes x layouts) [simulation]")
+    print("  fleet                  Sharded fleet: consistent-hash router,"
+          " shared device pool, --jobs fan-out [simulation]")
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +247,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return run_sweep(args)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.cli import run_fleet_command
+
+    return run_fleet_command(args)
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -335,6 +343,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sweep_arguments(sweep_p)
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    from repro.fleet.cli import add_fleet_arguments
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="sharded fleet: consistent-hash router, shared device pool, "
+             "multiprocessing fan-out (--jobs), merged artifact",
+    )
+    add_fleet_arguments(fleet_p)
+    fleet_p.set_defaults(func=_cmd_fleet)
 
     return parser
 

@@ -67,6 +67,10 @@ class SystemConfig:
     compaction_shape: str = "leveling"
     compaction_trigger: str = "size-ratio"
     compaction_picker: str = "default"
+    #: WAL group-commit factor (1 = sync every append, the paper's
+    #: configuration). The fleet router raises it to model router-side
+    #: batched WAL (see repro.fleet / docs/FLEET.md).
+    wal_sync_every: int = 1
     clients: int = 8
     seed: int = 0
 
@@ -92,6 +96,7 @@ def build_system(config: SystemConfig, workload: YCSBWorkload) -> LsmDB:
         compaction_shape=config.compaction_shape,
         compaction_trigger=config.compaction_trigger,
         compaction_picker=config.compaction_picker,
+        wal_sync_every=config.wal_sync_every,
     )
     clock = SimClock()
     layout = build_layout(config.layout_code, options, clock)
@@ -157,6 +162,12 @@ class RunResult:
     #: when the run attributed per-request latency (schema 2); empty
     #: dict otherwise. See docs/OBSERVABILITY.md.
     attribution: dict = field(default_factory=dict)
+    #: Fleet provenance block (shard count, router stats, device-pool
+    #: contention overlay, per-shard summaries) when this result is a
+    #: merged fleet run (see repro.fleet / docs/FLEET.md); empty dict
+    #: for ordinary single-instance runs, and omitted from the JSON
+    #: artifact so pre-fleet artifacts stay byte-identical on re-save.
+    fleet: dict = field(default_factory=dict)
     #: Schema version of the artifact this result was loaded from (or
     #: the current schema for freshly built results). ``repro-bench
     #: compare``/``explain`` use it to detect mixed-version comparisons.
@@ -242,6 +253,7 @@ class RunResult:
             "metrics": self.metrics,
             "timeline": self.timeline,
             "attribution": self.attribution,
+            **({"fleet": self.fleet} if self.fleet else {}),
         }
 
     @classmethod
@@ -314,6 +326,7 @@ class RunResult:
             metrics=data["metrics"],
             timeline=data.get("timeline", {}),
             attribution=data.get("attribution", {}),
+            fleet=data.get("fleet", {}),
             schema_version=schema,
         )
 

@@ -409,6 +409,56 @@ def _bench_runner_batched():
     return op, True
 
 
+def _bench_fleet_route():
+    """The router's per-request cost: hash the key, bisect the ring."""
+    from repro.fleet.router import ConsistentHashRouter
+    from repro.workloads.interning import KeyInterner
+
+    router = ConsistentHashRouter(16, vnodes=64)
+    interner = KeyInterner("t00-%010d")
+    keys = [interner.key(i) for i in range(8_192)]
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        shard_for_key = router.shard_for_key
+        for i in range(n):
+            shard_for_key(keys[i % n_keys])
+
+    return op, False
+
+
+def _bench_fleet_merge_results():
+    """The fleet merge path: fold per-shard artifacts into one result."""
+    from repro.bench.harness import SystemConfig, run_experiment
+    from repro.fleet.merge import merge_run_results
+    from repro.workloads.ycsb import YCSBConfig
+
+    shards = [
+        run_experiment(
+            SystemConfig(system="prismdb", layout_code="NNNTQ", seed=seed),
+            YCSBConfig.read_update(
+                50, record_count=500, operation_count=800, seed=seed
+            ),
+            label=f"micro/shard{seed}",
+            sample_interval_ms=10.0,
+        )
+        for seed in range(4)
+    ]
+
+    def op(n: int) -> int:
+        merges = max(1, n // _MERGE_SHARDS)
+        for _ in range(merges):
+            merge_run_results(shards, label="micro/fleet")
+        return merges * _MERGE_SHARDS
+
+    return op, True
+
+
+#: fleet.merge_results folds whole artifacts; its "inner op" is one
+#: shard result merged, so n is scaled by the shard count per merge.
+_MERGE_SHARDS = 4
+
+
 def _bench_e2e_smoke():
     """End-to-end: the perf gate's seeded YCSB-A smoke run, wall-clock."""
     from repro.bench.harness import SystemConfig, run_experiment
@@ -446,6 +496,8 @@ BENCHMARKS: dict[str, tuple[str, Callable]] = {
     "metrics.counter_inc": ("labelled counter lookup + increment", _bench_metrics_counter),
     "attribution.get_off": ("point read, attribution disabled", _bench_attribution_off),
     "attribution.get_on": ("point read with a live OpContext", _bench_attribution_on),
+    "fleet.route": ("consistent-hash shard lookup, 16 shards", _bench_fleet_route),
+    "fleet.merge_results": ("merge 4 shard artifacts (per shard folded)", _bench_fleet_merge_results),
     "e2e.smoke": ("full 5k-op YCSB-A smoke run (per DB operation)", _bench_e2e_smoke),
 }
 

@@ -81,6 +81,10 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="save one RunResult JSON per cell plus a "
                              "sweep.json index under DIR")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the grid (cells are "
+                             "independent runs); the table and sweep.json "
+                             "are byte-identical for any value (default: 1)")
 
 
 def run_sweep_cell(args: argparse.Namespace, layout: str, shape: str,
@@ -137,21 +141,43 @@ def render_sweep_table(results: dict[tuple[str, int, str], RunResult],
     return headers, rows
 
 
+def _sweep_cell_worker(
+    payload: tuple[argparse.Namespace, str, str, int],
+) -> dict:
+    """Spawn-safe pool entrypoint: run one cell, return its JSON artifact.
+
+    Every cell goes through this worker (and the to_json/from_json round
+    trip) even at ``--jobs 1``, so the single-process and fanned-out
+    paths produce byte-for-byte the same artifacts.
+    """
+    args, layout, shape, read_pct = payload
+    return run_sweep_cell(args, layout, shape, read_pct).to_json()
+
+
 def run_sweep(args: argparse.Namespace) -> int:
-    results: dict[tuple[str, int, str], RunResult] = {}
-    total = len(args.layouts) * len(args.mixes) * len(args.shapes)
-    done = 0
-    for layout in args.layouts:
-        for read_pct in args.mixes:
-            for shape in args.shapes:
-                done += 1
-                print(
-                    f"[{done}/{total}] {cell_label(args.system, layout, shape, read_pct)}",
-                    file=sys.stderr,
-                )
-                results[(layout, read_pct, shape)] = run_sweep_cell(
-                    args, layout, shape, read_pct
-                )
+    from repro.fleet.fanout import fan_out
+
+    cells = [
+        (layout, read_pct, shape)
+        for layout in args.layouts
+        for read_pct in args.mixes
+        for shape in args.shapes
+    ]
+    for done, (layout, read_pct, shape) in enumerate(cells, start=1):
+        print(
+            f"[{done}/{len(cells)}] "
+            f"{cell_label(args.system, layout, shape, read_pct)}"
+            + (f" (jobs={args.jobs})" if args.jobs > 1 else ""),
+            file=sys.stderr,
+        )
+    raw = fan_out(
+        _sweep_cell_worker,
+        [(args, layout, shape, read_pct) for layout, read_pct, shape in cells],
+        getattr(args, "jobs", 1),
+    )
+    results: dict[tuple[str, int, str], RunResult] = {
+        cell: RunResult.from_json(data) for cell, data in zip(cells, raw)
+    }
 
     headers, rows = render_sweep_table(results, args.layouts, args.mixes, args.shapes)
     title = (

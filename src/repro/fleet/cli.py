@@ -1,0 +1,194 @@
+"""``repro-bench fleet``: run a sharded fleet and report the merged view.
+
+Usage::
+
+    python -m repro.bench fleet                          # 4-shard smoke
+    python -m repro.bench fleet --shards 16 --ops 10000000 --jobs 4
+    python -m repro.bench fleet --jobs 4 --out fleet.json
+    python -m repro.bench fleet --system rocksdb --group-commit 1
+
+The merged artifact saved by ``--out`` is an ordinary schema-2
+``RunResult`` (plus a ``fleet`` provenance block), so every existing
+tool works on it unchanged::
+
+    python -m repro.bench timeline --artifact fleet.json
+    python -m repro.bench compare fleet_a.json fleet_b.json
+    python -m repro.bench explain fleet.json
+
+The artifact's bytes are a pure function of the fleet configuration —
+``--jobs`` changes wall-clock time only (pinned by
+``tests/fleet/test_fleet_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import SYSTEM_NAMES
+from repro.bench.reporting import fmt, format_experiment
+from repro.errors import ConfigError
+from repro.fleet.runner import FleetConfig, run_fleet
+from repro.fleet.workload import TenantSpec
+
+
+def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--system", default="prismdb", choices=SYSTEM_NAMES,
+                        help="system under test on every shard (default: prismdb)")
+    parser.add_argument("--layout", default="NNNTQ", metavar="CODE",
+                        help="storage layout code per shard (default: NNNTQ)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="number of shards behind the router (default: 4)")
+    parser.add_argument("--tenants", type=int, default=2,
+                        help="number of tenants striped across the fleet "
+                             "(default: 2)")
+    parser.add_argument("--keys-per-tenant", type=int, default=20_000,
+                        metavar="N",
+                        help="key-space size of each tenant (default: 20000)")
+    parser.add_argument("--theta", type=float, default=0.99,
+                        help="per-tenant Zipfian theta (default: 0.99)")
+    parser.add_argument("--read-pct", type=int, default=95, metavar="PCT",
+                        help="read percentage of each tenant's mix "
+                             "(default: 95; the rest are updates)")
+    parser.add_argument("--scan-pct", type=int, default=0, metavar="PCT",
+                        help="scan percentage, carved out of the read share "
+                             "(default: 0)")
+    parser.add_argument("--ops", type=int, default=100_000,
+                        help="fleet-total measured operations, split across "
+                             "shards by key ownership (default: 100000)")
+    parser.add_argument("--warmup", type=int, default=0, metavar="OPS",
+                        help="fleet-total unmeasured warm-up operations "
+                             "(default: 0)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="closed-loop clients per shard (default: 8)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fleet root seed; shard seeds derive from it "
+                             "(default: 0)")
+    parser.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per shard on the hash ring "
+                             "(default: 64)")
+    parser.add_argument("--group-commit", type=int, default=8, metavar="N",
+                        help="router-side WAL group commit: shards sync every "
+                             "N-th append (default: 8; 1 = per-op sync)")
+    parser.add_argument("--oversubscription", type=float, default=2.0,
+                        metavar="X",
+                        help="shards per pooled flash device (default: 2.0)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes; results are bit-identical "
+                             "for any value (default: 1)")
+    parser.add_argument("--sample-interval-ms", type=float, default=10.0,
+                        metavar="MS",
+                        help="timeline sampling interval in simulated ms; the "
+                             "device-pool overlay is computed from the merged "
+                             "timeline (default: 10)")
+    parser.add_argument("--attribution", action="store_true",
+                        help="record per-request latency attribution on every "
+                             "shard (merged into the fleet artifact; makes "
+                             "`repro.bench explain` work on it)")
+    parser.add_argument("--attr-sample-every", type=int, default=1, metavar="N",
+                        help="attribute every N-th request (default: 1)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="save the merged fleet RunResult JSON here")
+
+
+def build_fleet_config(args: argparse.Namespace) -> FleetConfig:
+    """Translate CLI arguments into a picklable :class:`FleetConfig`."""
+    if not 0 <= args.read_pct <= 100:
+        raise ConfigError(f"read-pct out of range: {args.read_pct}")
+    if not 0 <= args.scan_pct <= args.read_pct:
+        raise ConfigError(
+            f"scan-pct must be within the read share: {args.scan_pct}"
+        )
+    update = (100 - args.read_pct) / 100.0
+    scan = args.scan_pct / 100.0
+    read = 1.0 - update - scan
+    tenants = tuple(
+        TenantSpec(
+            name=f"t{index:02d}",
+            key_count=args.keys_per_tenant,
+            zipf_theta=args.theta,
+            read_proportion=read,
+            update_proportion=update,
+            scan_proportion=scan,
+        )
+        for index in range(args.tenants)
+    )
+    return FleetConfig(
+        system=args.system,
+        layout_code=args.layout,
+        shards=args.shards,
+        tenants=tenants,
+        total_operations=args.ops,
+        warmup_operations=args.warmup,
+        clients=args.clients,
+        seed=args.seed,
+        vnodes=args.vnodes,
+        group_commit=args.group_commit,
+        oversubscription=args.oversubscription,
+        sample_interval_ms=args.sample_interval_ms,
+        attribution_sample_every=(
+            args.attr_sample_every if args.attribution else None
+        ),
+    )
+
+
+def run_fleet_command(args: argparse.Namespace) -> int:
+    config = build_fleet_config(args)
+    print(
+        f"fleet: {config.shards} shards x {config.system}/{config.layout_code}, "
+        f"{len(config.tenants)} tenants, {config.total_operations} ops, "
+        f"jobs={args.jobs}",
+        file=sys.stderr,
+    )
+    started = time.perf_counter()
+    result = run_fleet(config, jobs=args.jobs)
+    wall_clock_sec = time.perf_counter() - started
+
+    headers = ["shard", "ops", "kops", "read p99 (us)", "update p99 (us)", "WA"]
+    rows = [
+        [
+            str(shard["shard"]),
+            str(shard["operations"]),
+            fmt(shard["throughput_kops"]),
+            fmt(shard["read_p99_usec"]),
+            fmt(shard["update_p99_usec"]),
+            fmt(shard["write_amplification"]),
+        ]
+        for shard in result.fleet["per_shard"]
+    ]
+    rows.append(
+        [
+            "fleet",
+            str(result.operations),
+            fmt(result.throughput_kops),
+            fmt(result.read_latency.p99),
+            fmt(result.update_latency.p99),
+            fmt(result.write_amplification),
+        ]
+    )
+    title = (
+        f"Fleet: {config.shards} shards, group-commit {config.group_commit}, "
+        f"oversubscription {config.oversubscription:g}"
+    )
+    print(format_experiment(title, headers, rows))
+
+    pool = result.fleet["pool"]
+    penalty = pool["penalty"]
+    print(
+        "device pool: "
+        + ", ".join(
+            f"{tech} peak backlog {fmt(stats['peak_backlog_bytes'])} B"
+            for tech, stats in sorted(pool["tiers"].items())
+        )
+    )
+    print(
+        f"pool read penalty (us): mean {fmt(penalty['mean'])}, "
+        f"p99 {fmt(penalty['p99'])}, max {fmt(penalty['max'])}"
+    )
+    print(f"wall clock: {wall_clock_sec:.2f} s", file=sys.stderr)
+
+    if args.out:
+        result.save(args.out)
+        print(f"saved fleet artifact to {args.out}", file=sys.stderr)
+    return 0

@@ -1,0 +1,49 @@
+"""Process fan-out shared by the fleet runner and ``sweep --jobs``.
+
+One function, one contract: ``fan_out(worker, payloads, jobs)`` returns
+``[worker(p) for p in payloads]`` — always in payload order, regardless
+of how many processes executed them or in what order they finished.
+``jobs == 1`` runs inline (no pool, no pickling, easiest to debug);
+``jobs > 1`` uses a ``spawn`` pool, the start method that works the same
+on every platform and never inherits dirty parent state (fork would
+silently share the parent's fnv/zeta memo caches — harmless for
+results, but a fork/spawn behaviour split is exactly the kind of
+asymmetry the determinism tests exist to rule out).
+
+Requirements on callers (enforced by pickle, documented here):
+
+* ``worker`` must be a module-level function — spawn imports it by
+  qualified name in each child.
+* payloads and results must be picklable; the fleet passes plain
+  dataclasses in and JSON-safe dicts out.
+* ``worker`` must be a pure function of its payload. Results come back
+  via ``Pool.map``, which preserves order, so the merged output is a
+  function of the payload list alone — that is the whole worker-count
+  invariance argument, and the tests pin it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+def fan_out(
+    worker: Callable[[_P], _R], payloads: Sequence[_P], jobs: int = 1
+) -> list[_R]:
+    """Run ``worker`` over ``payloads`` with up to ``jobs`` processes."""
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1: {jobs}")
+    payloads = list(payloads)
+    if jobs == 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(jobs, len(payloads))) as pool:
+        # chunksize=1: payloads are coarse (a whole shard / sweep cell),
+        # so letting the pool batch them would only serialize stragglers.
+        return pool.map(worker, payloads, chunksize=1)

@@ -1,0 +1,176 @@
+"""Merge per-shard run artifacts into one fleet-level ``RunResult``.
+
+The merge is the linchpin of the fleet's determinism contract: it must
+be a *pure, order-insensitive* function of the shard results, because
+worker processes may compute them in any interleaving. Every rule below
+either merges exactly (sums of counters, histogram-bucket addition,
+global top-K) or is a documented deterministic approximation:
+
+* **operations / bytes / counts** — exact sums.
+* **elapsed** — max of shard clocks (shards run concurrently);
+  **throughput** — sum of per-shard throughputs (each shard is an
+  independent server contributing its own ops/sec).
+* **latency summaries** — rebuilt from the merged ``op.latency_usec``
+  histograms: count/mean/max are exact, percentiles are bucket-resolution
+  (<= 2x relative error with the default powers-of-two bounds). This is
+  the same representation ``repro-bench report`` already reads.
+* **cache hit rates** — recomputed from merged hit/miss counters (exact).
+* **write amplification** — recomputed from merged byte totals (exact).
+* **wear** — per-tier mean across shards (each shard wrote its own
+  device image); **lifetime** — min (the fleet replaces a tier when its
+  worst device dies); **cost** — sum.
+* **metrics / timeline / attribution** — the dedicated merge functions
+  in ``repro.obs`` (see their docstrings for exact-vs-approximate).
+
+``tests/fleet/test_merge_properties.py`` pins the exactness claims
+against a single recorder fed the combined stream.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import RunResult
+from repro.common.stats import LatencySummary
+from repro.errors import ConfigError
+from repro.obs.attribution import merge_attributions
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import merge_timelines
+
+
+def _summary_from_row(row: dict | None) -> LatencySummary:
+    if row is None or row["count"] == 0:
+        return LatencySummary.empty()
+    return LatencySummary(
+        count=row["count"],
+        mean=row["mean"],
+        p50=row["p50"],
+        p95=row["p95"],
+        p99=row["p99"],
+        maximum=row["max"],
+    )
+
+
+def _find_row(metrics: dict, name: str, **labels) -> dict | None:
+    metric = metrics.get(name)
+    if metric is None:
+        return None
+    for row in metric["series"]:
+        if row["labels"] == labels:
+            return row
+    return None
+
+
+def _sum_rows(metrics: dict, name: str, label: str | None = None) -> float:
+    """Total of a counter metric, optionally only rows matching a label value."""
+    metric = metrics.get(name)
+    if metric is None:
+        return 0.0
+    total = 0.0
+    for row in metric["series"]:
+        if label is None or row["labels"].get("type") == label:
+            total += row["value"]
+    return total
+
+
+def _sum_dicts(dicts: list[dict]) -> dict:
+    out: dict = {}
+    for d in dicts:
+        for key, value in d.items():
+            out[key] = out.get(key, 0) + value
+    return out
+
+
+def merge_run_results(
+    results: list[RunResult], *, label: str = "fleet"
+) -> RunResult:
+    """Fold per-shard :class:`RunResult` artifacts into one fleet result."""
+    if not results:
+        raise ConfigError("cannot merge an empty result list")
+    first = results[0]
+    for result in results:
+        if result.system != first.system or result.layout_code != first.layout_code:
+            raise ConfigError(
+                "fleet shards must share system and layout: "
+                f"{result.system}/{result.layout_code} vs "
+                f"{first.system}/{first.layout_code}"
+            )
+
+    metrics = MetricsRegistry.merge_snapshots([r.metrics for r in results])
+
+    # Latency populations from the merged registry histograms.
+    read = _summary_from_row(_find_row(metrics, "op.latency_usec", op="read"))
+    update = _summary_from_row(_find_row(metrics, "op.latency_usec", op="update"))
+    scan = _summary_from_row(_find_row(metrics, "op.latency_usec", op="scan"))
+    by_source: dict[str, LatencySummary] = {}
+    source_metric = metrics.get("read.latency_usec")
+    if source_metric is not None:
+        for row in source_metric["series"]:
+            by_source[row["labels"]["source"]] = _summary_from_row(row)
+
+    cache_hits = _sum_rows(metrics, "cache.hits")
+    cache_misses = _sum_rows(metrics, "cache.misses")
+    data_hits = _sum_rows(metrics, "cache.hits", label="data")
+    data_misses = _sum_rows(metrics, "cache.misses", label="data")
+
+    flush_bytes = sum(r.flush_bytes for r in results)
+    wal_bytes = sum(r.wal_bytes for r in results)
+    user_write_bytes = sum(r.user_write_bytes for r in results)
+    compaction_write_bytes = sum(r.compaction_write_bytes for r in results)
+
+    wear_sums = _sum_dicts([r.device_wear_cycles for r in results])
+    lifetimes: dict[str, float] = {}
+    for result in results:
+        for tier, years in result.device_lifetime_years.items():
+            current = lifetimes.get(tier)
+            lifetimes[tier] = years if current is None else min(current, years)
+
+    return RunResult(
+        label=label,
+        system=first.system,
+        layout_code=first.layout_code,
+        operations=sum(r.operations for r in results),
+        elapsed_usec=max(r.elapsed_usec for r in results),
+        throughput_kops=sum(r.throughput_kops for r in results),
+        read_latency=read,
+        update_latency=update,
+        scan_latency=scan,
+        reads_by_source=_sum_dicts([r.reads_by_source for r in results]),
+        read_latency_by_source=by_source,
+        cache_hit_rate=(
+            cache_hits / (cache_hits + cache_misses)
+            if cache_hits + cache_misses
+            else 0.0
+        ),
+        cache_hit_rate_data=(
+            data_hits / (data_hits + data_misses)
+            if data_hits + data_misses
+            else 0.0
+        ),
+        compactions=sum(r.compactions for r in results),
+        compaction_read_bytes=sum(r.compaction_read_bytes for r in results),
+        compaction_write_bytes=compaction_write_bytes,
+        flush_bytes=flush_bytes,
+        wal_bytes=wal_bytes,
+        user_write_bytes=user_write_bytes,
+        write_amplification=(
+            (flush_bytes + compaction_write_bytes + wal_bytes) / user_write_bytes
+            if user_write_bytes
+            else 0.0
+        ),
+        per_level_write_bytes=_sum_dicts(
+            [r.per_level_write_bytes for r in results]
+        ),
+        pinned_records=sum(r.pinned_records for r in results),
+        pulled_up_records=sum(r.pulled_up_records for r in results),
+        migrations=sum(r.migrations for r in results),
+        migration_bytes=sum(r.migration_bytes for r in results),
+        device_read_bytes=_sum_dicts([r.device_read_bytes for r in results]),
+        device_write_bytes=_sum_dicts([r.device_write_bytes for r in results]),
+        device_wear_cycles={
+            tier: total / len(results) for tier, total in wear_sums.items()
+        },
+        device_lifetime_years=lifetimes,
+        storage_cost_dollars=sum(r.storage_cost_dollars for r in results),
+        metrics=metrics,
+        timeline=merge_timelines([r.timeline for r in results]),
+        attribution=merge_attributions([r.attribution for r in results]),
+    )

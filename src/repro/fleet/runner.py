@@ -1,0 +1,229 @@
+"""Fleet runner: fan shards out over processes, merge deterministically.
+
+``run_fleet(config, jobs=N)`` is the fleet's one entry point. Its
+determinism contract, which ``tests/fleet/test_fleet_determinism.py``
+pins to committed digests:
+
+* Every shard's simulation is a pure function of ``(config, shard_id)``
+  — its seed is ``derive_seed(config.seed, "fleet", "shard<i>")``, its
+  workload is the router-partitioned slice, and nothing it computes
+  depends on which process ran it or when.
+* Workers return JSON-safe ``RunResult.to_json()`` dicts (the same
+  bytes the artifact file would hold), and :func:`fan_out` returns them
+  in shard order regardless of completion order.
+* The merge (:mod:`repro.fleet.merge`) and the device-pool overlay
+  (:mod:`repro.fleet.pool`) are pure functions of the ordered result
+  list.
+
+Therefore the merged fleet artifact is **bit-identical for any
+``--jobs`` value** — ``--jobs`` buys wall-clock time and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.harness import RunResult, SystemConfig, WorkloadRunner, build_system
+from repro.common.rng import derive_seed
+from repro.errors import ConfigError
+from repro.fleet.fanout import fan_out
+from repro.fleet.merge import merge_run_results
+from repro.fleet.pool import DevicePool, PoolParams
+from repro.fleet.router import ConsistentHashRouter
+from repro.fleet.workload import ShardWorkload, TenantSpec
+from repro.workloads.interning import KeyInterner
+
+
+def default_tenants(
+    count: int = 2, *, keys_per_tenant: int = 20_000, zipf_theta: float = 0.99
+) -> tuple[TenantSpec, ...]:
+    """A homogeneous tenant set for smokes and CLI defaults."""
+    if count < 1:
+        raise ConfigError(f"tenant count must be >= 1: {count}")
+    return tuple(
+        TenantSpec(
+            name=f"t{index:02d}",
+            key_count=keys_per_tenant,
+            zipf_theta=zipf_theta,
+        )
+        for index in range(count)
+    )
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a worker process needs to run one shard (picklable)."""
+
+    system: str = "prismdb"
+    layout_code: str = "NNNTQ"
+    shards: int = 4
+    tenants: tuple[TenantSpec, ...] = field(default_factory=default_tenants)
+    #: Fleet-total measured operations, split across shards in
+    #: proportion to the keys each owns (largest-remainder rounding).
+    total_operations: int = 100_000
+    warmup_operations: int = 0
+    clients: int = 8
+    seed: int = 0
+    vnodes: int = 64
+    #: Router-side group commit: the router batches WAL appends before
+    #: acknowledging, so each shard syncs every N-th append.
+    group_commit: int = 8
+    oversubscription: float = 2.0
+    cache_fraction: float = 0.10
+    pinning_threshold: float = 0.10
+    sample_interval_ms: float = 10.0
+    attribution_sample_every: int | None = None
+    slow_op_k: int = 8
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1: {self.shards}")
+        if self.total_operations < 0 or self.warmup_operations < 0:
+            raise ConfigError("operation counts must be non-negative")
+        if self.group_commit < 1:
+            raise ConfigError(f"group_commit must be >= 1: {self.group_commit}")
+
+    def shard_seed(self, shard_id: int) -> int:
+        return derive_seed(self.seed, "fleet", f"shard{shard_id}")
+
+
+def _split_by_owned(config: FleetConfig, total: int) -> list[int]:
+    """Split an op count across shards proportional to owned keys.
+
+    Largest-remainder apportionment (ties to the lower shard id): exact
+    total, deterministic, and independent of execution order.
+    """
+    router = ConsistentHashRouter(config.shards, vnodes=config.vnodes)
+    owned = [0] * config.shards
+    for tenant in config.tenants:
+        interner = KeyInterner(tenant.key_format)
+        for index in range(tenant.key_count):
+            owned[router.shard_for_key(interner.key(index))] += 1
+    total_keys = sum(owned)
+    if total_keys == 0:
+        raise ConfigError("fleet owns no keys")
+    quotas = [total * count / total_keys for count in owned]
+    floors = [int(q) for q in quotas]
+    shortfall = total - sum(floors)
+    order = sorted(
+        range(config.shards), key=lambda s: (-(quotas[s] - floors[s]), s)
+    )
+    for shard in order[:shortfall]:
+        floors[shard] += 1
+    return floors
+
+
+def run_shard(config: FleetConfig, shard_id: int) -> RunResult:
+    """Simulate one shard of the fleet (pure in ``(config, shard_id)``)."""
+    router = ConsistentHashRouter(config.shards, vnodes=config.vnodes)
+    run_split = _split_by_owned(config, config.total_operations)
+    warmup_split = _split_by_owned(config, config.warmup_operations)
+    workload = ShardWorkload(
+        config.tenants,
+        router,
+        shard_id,
+        operations=run_split[shard_id],
+        warmup_operations=warmup_split[shard_id],
+        seed=config.shard_seed(shard_id),
+    )
+    system_config = SystemConfig(
+        system=config.system,
+        layout_code=config.layout_code,
+        cache_fraction=config.cache_fraction,
+        pinning_threshold=config.pinning_threshold,
+        wal_sync_every=config.group_commit,
+        clients=config.clients,
+        seed=config.shard_seed(shard_id),
+    )
+    db = build_system(system_config, workload)
+    runner = WorkloadRunner(
+        db,
+        clients=config.clients,
+        sample_interval_ms=config.sample_interval_ms,
+        attribution_sample_every=config.attribution_sample_every,
+        slow_op_k=config.slow_op_k,
+    )
+    runner.load(workload)
+    if workload.config.warmup_operations > 0:
+        runner.warmup(workload)
+    elapsed = runner.run(workload)
+    result = runner.result(
+        f"fleet/{config.system}/shard{shard_id}", system_config, elapsed
+    )
+    result.fleet = {
+        "shard": shard_id,
+        "seed": config.shard_seed(shard_id),
+        "owned_keys": workload.owned_counts(),
+        "operations": run_split[shard_id],
+    }
+    return result
+
+
+def _shard_worker(payload: tuple[FleetConfig, int]) -> dict:
+    """Spawn-safe pool entrypoint: run one shard, return its JSON artifact."""
+    config, shard_id = payload
+    return run_shard(config, shard_id).to_json()
+
+
+def run_fleet(config: FleetConfig, *, jobs: int = 1) -> RunResult:
+    """Run every shard (``jobs`` processes) and merge into one result.
+
+    Wall-clock timing is deliberately the *caller's* job (the CLI and
+    the perf gate wrap this call): the returned result — including its
+    JSON artifact bytes — must be a pure function of ``config``, never
+    of ``jobs`` or elapsed real time.
+    """
+    payloads = [(config, shard_id) for shard_id in range(config.shards)]
+    raw = fan_out(_shard_worker, payloads, jobs)
+    shard_results = [RunResult.from_json(data) for data in raw]
+    merged = merge_run_results(
+        shard_results, label=f"fleet/{config.system}/{config.shards}shards"
+    )
+
+    pool = DevicePool(
+        config.shards, PoolParams(oversubscription=config.oversubscription)
+    )
+    contention = pool.contention(merged.timeline)
+    penalty = contention["penalty"]
+    merged.read_latency = DevicePool.apply_penalty(merged.read_latency, penalty)
+    merged.scan_latency = DevicePool.apply_penalty(merged.scan_latency, penalty)
+    merged.read_latency_by_source = {
+        source: DevicePool.apply_penalty(summary, penalty)
+        for source, summary in merged.read_latency_by_source.items()
+    }
+
+    merged.fleet = {
+        "schema": 1,
+        "shards": config.shards,
+        "vnodes": config.vnodes,
+        "group_commit": config.group_commit,
+        "tenants": [
+            {
+                "name": tenant.name,
+                "key_count": tenant.key_count,
+                "weight": tenant.weight,
+                "distribution": tenant.distribution,
+                "zipf_theta": tenant.zipf_theta,
+            }
+            for tenant in config.tenants
+        ],
+        "keys_per_shard": [
+            sum(result.fleet["owned_keys"].values()) for result in shard_results
+        ],
+        "operations_per_shard": [
+            result.fleet["operations"] for result in shard_results
+        ],
+        "pool": contention,
+        "per_shard": [
+            {
+                "shard": result.fleet["shard"],
+                "operations": result.operations,
+                "throughput_kops": result.throughput_kops,
+                "read_p99_usec": result.read_latency.p99,
+                "update_p99_usec": result.update_latency.p99,
+                "write_amplification": result.write_amplification,
+            }
+            for result in shard_results
+        ],
+    }
+    return merged

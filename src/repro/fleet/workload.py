@@ -1,0 +1,269 @@
+"""Multi-tenant sharded workload: each shard drives its routed slice.
+
+A fleet workload is a set of :class:`TenantSpec` key spaces striped
+across shards by the :class:`~repro.fleet.router.ConsistentHashRouter`.
+Each shard process builds a :class:`ShardWorkload` that generates
+exactly the requests the router would deliver to that shard:
+
+* **Ownership** — for every tenant, the shard enumerates the tenant's
+  key space and keeps the keys the router assigns to it. Ownership
+  depends only on (tenants, shards, vnodes), never on worker count or
+  process identity, because the router hashes with fnv1a-64.
+* **Skew** — each tenant draws from its own Zipfian (or uniform /
+  latest) generator over its *owned* keys. The scrambled-Zipfian rank
+  hash spreads a tenant's hot set uniformly over its key space, so the
+  restriction to an owned subset preserves the tenant's skew profile on
+  every shard.
+* **Traffic share** — tenants are picked per-op with probability
+  proportional to ``weight * owned_fraction``: a router in front of the
+  fleet delivers each tenant's traffic to shards in proportion to the
+  keys they own.
+
+The workload is insert-free (reads, updates, scans): an insert would
+grow a tenant's key space, which requires a fleet-global cursor and
+would couple shards. Every RNG derives from the shard's seed via
+:func:`~repro.common.rng.make_rng`, so a shard's stream is a pure
+function of (fleet config, shard id) — the foundation of the fleet's
+worker-count invariance.
+
+:class:`ShardWorkload` implements the batched workload protocol
+(``load_batches`` / ``warmup_batches`` / ``run_batches`` plus
+``total_data_bytes`` and a ``config`` view), so the existing
+:class:`~repro.bench.harness.WorkloadRunner` drives it unchanged.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.common.rng import make_rng
+from repro.errors import ConfigError
+from repro.fleet.router import ConsistentHashRouter
+from repro.workloads.interning import KeyInterner
+from repro.workloads.ycsb import (
+    DEFAULT_BATCH_OPS,
+    OP_INSERT,
+    OP_READ,
+    OP_SCAN,
+    OP_UPDATE,
+    RequestBatch,
+)
+from repro.workloads.zipfian import make_generator
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's key space and traffic profile."""
+
+    name: str
+    key_count: int
+    #: Relative share of fleet traffic (normalized across tenants).
+    weight: float = 1.0
+    distribution: str = "zipfian"
+    zipf_theta: float = 0.99
+    read_proportion: float = 0.95
+    update_proportion: float = 0.05
+    scan_proportion: float = 0.0
+    value_bytes: int = 100
+    max_scan_length: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in " /{}"):
+            raise ConfigError(f"invalid tenant name {self.name!r}")
+        if self.key_count <= 0:
+            raise ConfigError(f"{self.name}: key_count must be positive")
+        if self.weight <= 0:
+            raise ConfigError(f"{self.name}: weight must be positive")
+        total = self.read_proportion + self.update_proportion + self.scan_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(
+                f"{self.name}: read+update+scan proportions must sum to 1.0, got {total}"
+            )
+        if self.value_bytes <= 0:
+            raise ConfigError(f"{self.name}: value_bytes must be positive")
+        if self.max_scan_length <= 0:
+            raise ConfigError(f"{self.name}: max_scan_length must be positive")
+
+    @property
+    def key_format(self) -> str:
+        """Interner format; the tenant name prefix keeps key spaces disjoint."""
+        return f"{self.name}-%010d"
+
+
+@dataclass(frozen=True)
+class _ShardConfigView:
+    """The slice of :class:`~repro.workloads.ycsb.YCSBConfig` the harness reads."""
+
+    record_count: int
+    operation_count: int
+    warmup_operations: int
+    seed: int
+
+
+class _TenantState:
+    """Per-tenant ownership and generators on one shard."""
+
+    __slots__ = ("spec", "interner", "owned", "key_len")
+
+    def __init__(self, spec: TenantSpec, router: ConsistentHashRouter, shard_id: int):
+        self.spec = spec
+        self.interner = KeyInterner(spec.key_format)
+        key = self.interner.key
+        shard_for_key = router.shard_for_key
+        self.owned = [
+            index
+            for index in range(spec.key_count)
+            if shard_for_key(key(index)) == shard_id
+        ]
+        self.key_len = len(key(0))
+
+
+class ShardWorkload:
+    """The request stream one shard receives from the fleet router."""
+
+    def __init__(
+        self,
+        tenants: tuple[TenantSpec, ...],
+        router: ConsistentHashRouter,
+        shard_id: int,
+        *,
+        operations: int,
+        warmup_operations: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if not tenants:
+            raise ConfigError("fleet workload needs at least one tenant")
+        if len({t.name for t in tenants}) != len(tenants):
+            raise ConfigError("tenant names must be unique")
+        if not 0 <= shard_id < router.num_shards:
+            raise ConfigError(f"shard_id out of range: {shard_id}")
+        if operations < 0 or warmup_operations < 0:
+            raise ConfigError("operation counts must be non-negative")
+        self.tenants = tenants
+        self.router = router
+        self.shard_id = shard_id
+        self.seed = seed
+        self._states = [_TenantState(spec, router, shard_id) for spec in tenants]
+        record_count = sum(len(state.owned) for state in self._states)
+        if record_count == 0:
+            raise ConfigError(
+                f"shard {shard_id} owns no keys; raise vnodes or key counts"
+            )
+        self.config = _ShardConfigView(
+            record_count=record_count,
+            operation_count=operations,
+            warmup_operations=warmup_operations,
+            seed=seed,
+        )
+        # Tenant pick weights: traffic share * fraction of the tenant's
+        # keys this shard owns (what a front-end router delivers here).
+        weights = [
+            state.spec.weight * len(state.owned) / state.spec.key_count
+            for state in self._states
+        ]
+        total = sum(weights)
+        self._tenant_cuts: list[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._tenant_cuts.append(acc)
+        self._tenant_cuts[-1] = 1.0  # guard float drift at the top end
+
+    def owned_counts(self) -> dict[str, int]:
+        """Keys owned on this shard, per tenant (fleet provenance block)."""
+        return {state.spec.name: len(state.owned) for state in self._states}
+
+    def total_data_bytes(self) -> int:
+        """Approximate serialized size of this shard's loaded data."""
+        return sum(
+            len(state.owned) * (state.key_len + state.spec.value_bytes + 15)
+            for state in self._states
+        )
+
+    # ------------------------------------------------------------------
+    # Phases (batched workload protocol)
+    # ------------------------------------------------------------------
+    def load_batches(self, batch_ops: int = DEFAULT_BATCH_OPS):
+        """Insert every owned key once, tenant by tenant, in key order."""
+        for state in self._states:
+            rng = make_rng(self.seed, "load", state.spec.name)
+            randbytes = rng.randbytes
+            key = state.interner.key
+            value_bytes = state.spec.value_bytes
+            owned = state.owned
+            for start in range(0, len(owned), batch_ops):
+                chunk = owned[start : start + batch_ops]
+                n = len(chunk)
+                yield RequestBatch(
+                    [OP_INSERT] * n,
+                    [key(index) for index in chunk],
+                    [randbytes(value_bytes) for _ in range(n)],
+                    [0] * n,
+                )
+
+    def warmup_batches(self, batch_ops: int = DEFAULT_BATCH_OPS):
+        """Unmeasured steady-state traffic (same mix, own RNG streams)."""
+        return self._op_batches("warmup", self.config.warmup_operations, batch_ops)
+
+    def run_batches(self, batch_ops: int = DEFAULT_BATCH_OPS):
+        """The measured phase: the shard's routed multi-tenant stream."""
+        return self._op_batches("ops", self.config.operation_count, batch_ops)
+
+    def _op_batches(self, phase: str, count: int, batch_ops: int):
+        op_rng = make_rng(self.seed, phase, "ops")
+        value_rng = make_rng(self.seed, phase, "values")
+        generators = [
+            make_generator(
+                state.spec.distribution,
+                len(state.owned),
+                state.spec.zipf_theta,
+                make_rng(self.seed, phase, "keys", state.spec.name),
+            )
+            if state.owned
+            else None
+            for state in self._states
+        ]
+        cuts = self._tenant_cuts
+        states = self._states
+        dice_fn = op_rng.random
+        randrange = op_rng.randrange
+        randbytes = value_rng.randbytes
+        empty = b""
+        remaining = count
+        while remaining > 0:
+            n = batch_ops if batch_ops < remaining else remaining
+            remaining -= n
+            kinds: list[int] = []
+            keys: list[bytes] = []
+            values: list[bytes] = []
+            lengths: list[int] = []
+            append_kind = kinds.append
+            append_key = keys.append
+            append_value = values.append
+            append_length = lengths.append
+            for _ in range(n):
+                tenant = bisect_right(cuts, dice_fn())
+                if tenant == len(cuts):  # dice == 1.0 edge
+                    tenant -= 1
+                state = states[tenant]
+                spec = state.spec
+                generator = generators[tenant]
+                key = state.interner.key(state.owned[generator.next_index()])
+                dice = dice_fn()
+                if dice < spec.read_proportion:
+                    append_kind(OP_READ)
+                    append_key(key)
+                    append_value(empty)
+                    append_length(0)
+                elif dice < spec.read_proportion + spec.update_proportion:
+                    append_kind(OP_UPDATE)
+                    append_key(key)
+                    append_value(randbytes(spec.value_bytes))
+                    append_length(0)
+                else:
+                    append_kind(OP_SCAN)
+                    append_key(key)
+                    append_value(empty)
+                    append_length(1 + randrange(spec.max_scan_length))
+            yield RequestBatch(kinds, keys, values, lengths)

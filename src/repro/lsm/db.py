@@ -175,7 +175,11 @@ class LsmDB:
             metrics=self.metrics,
             tracer=self.tracer,
         )
-        self.wal = WriteAheadLog(layout.wal_tier) if self.options.wal_enabled else None
+        self.wal = (
+            WriteAheadLog(layout.wal_tier, sync_every=self.options.wal_sync_every)
+            if self.options.wal_enabled
+            else None
+        )
         # The MANIFEST lives next to the WAL on the fastest tier; every
         # add/remove of an SSTable is logged so the level structure can
         # be rebuilt on restart (see reopen()).

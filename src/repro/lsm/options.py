@@ -52,6 +52,12 @@ class DBOptions:
     row_cache_bytes: int = 0
     #: Whether updates are logged to the WAL before the memtable.
     wal_enabled: bool = True
+    #: Group-commit factor: only every N-th WAL append pays the device's
+    #: program latency; the others ride in the same batch and pay only
+    #: transfer cost. 1 (the default) syncs every append — the paper's
+    #: single-instance configuration. The fleet router raises this to
+    #: model router-side batched WAL (see docs/FLEET.md).
+    wal_sync_every: int = 1
     #: Per-operation CPU cost (request parsing, memtable walk, etc.).
     cpu_overhead_usec: float = 2.0
     #: Extra per-read CPU cost of PrismDB's tracker insertion; the paper
@@ -130,6 +136,8 @@ class DBOptions:
             raise ConfigError("file_count_trigger must be >= 1")
         if self.staleness_file_window < 1:
             raise ConfigError("staleness_file_window must be >= 1")
+        if self.wal_sync_every < 1:
+            raise ConfigError("wal_sync_every must be >= 1")
 
     def level_target_bytes(self, level: int) -> int:
         """Size target of ``level``; L0's target is the trigger in bytes."""

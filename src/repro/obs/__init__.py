@@ -26,6 +26,7 @@ from repro.obs.attribution import (
     attribution_table,
     band_breakdown,
     diff_attribution,
+    merge_attributions,
 )
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -38,7 +39,7 @@ from repro.obs.metrics import (
     label_key,
     percentile_from_buckets,
 )
-from repro.obs.timeline import TimelineSampler, timeline_series
+from repro.obs.timeline import TimelineSampler, merge_timelines, timeline_series
 from repro.obs.tracing import (
     NOOP_TRACER,
     Tracer,
@@ -54,6 +55,7 @@ __all__ = [
     "attribution_table",
     "band_breakdown",
     "diff_attribution",
+    "merge_attributions",
     "Counter",
     "Gauge",
     "Histogram",
@@ -64,6 +66,7 @@ __all__ = [
     "label_key",
     "percentile_from_buckets",
     "TimelineSampler",
+    "merge_timelines",
     "timeline_series",
     "Tracer",
     "NOOP_TRACER",

@@ -387,6 +387,74 @@ class MetricsRegistry:
             out[name] = {"type": kind, "series": rendered}
         return out
 
+    @staticmethod
+    def merge_snapshots(snapshots: list[dict]) -> dict:
+        """Merge per-instance :meth:`snapshot` exports into one snapshot.
+
+        The fleet merge path: every shard carries a full registry
+        snapshot, and the fleet-level view is their series-wise sum.
+        Counters and histogram observations add exactly; gauges add too
+        (a fleet gauge like ``tracker.occupancy`` is the sum of per-shard
+        levels). Histogram percentiles are recomputed from the merged
+        bucket vectors (mean stays exact: summed ``sum`` over summed
+        ``count``), so a merged p99 equals the combined-stream p99 at
+        bucket resolution. Series are processed in sorted order, so the
+        result is independent of snapshot ordering apart from which
+        instance contributed first — snapshots must agree on each
+        metric's type (they do, by construction: one codebase registered
+        them).
+        """
+        merged: dict = {}
+        for snapshot in snapshots:
+            for name in sorted(snapshot):
+                metric = snapshot[name]
+                target = merged.setdefault(
+                    name, {"type": metric["type"], "series": []}
+                )
+                if target["type"] != metric["type"]:
+                    raise ObservabilityError(
+                        f"metric {name!r} merged as {target['type']} and "
+                        f"{metric['type']}"
+                    )
+                by_labels = {
+                    label_key(row["labels"]): row for row in target["series"]
+                }
+                for row in metric["series"]:
+                    key = label_key(row["labels"])
+                    into = by_labels.get(key)
+                    if into is None:
+                        copied = {k: (dict(v) if isinstance(v, dict) else
+                                      list(v) if isinstance(v, list) else v)
+                                  for k, v in row.items()}
+                        target["series"].append(copied)
+                        continue
+                    if "value" in row:
+                        into["value"] += row["value"]
+                    else:
+                        if list(into["bounds"]) != list(row["bounds"]):
+                            raise ObservabilityError(
+                                f"metric {name!r} merged with differing "
+                                f"histogram bounds"
+                            )
+                        into["count"] += row["count"]
+                        into["sum"] += row["sum"]
+                        into["max"] = max(into["max"], row["max"])
+                        into["buckets"] = [
+                            a + b for a, b in zip(into["buckets"], row["buckets"])
+                        ]
+                        into["mean"] = (
+                            into["sum"] / into["count"] if into["count"] else 0.0
+                        )
+                        for pct in (50.0, 95.0, 99.0):
+                            into[f"p{pct:g}"] = percentile_from_buckets(
+                                tuple(into["bounds"]), into["buckets"], pct,
+                                maximum=into["max"] if into["count"] else None,
+                            )
+        # Deterministic presentation: sorted series within each metric.
+        for metric in merged.values():
+            metric["series"].sort(key=lambda row: label_key(row["labels"]))
+        return merged
+
     def render_flat(self) -> dict[str, float]:
         """Flat ``name{label=value}`` -> scalar view (histograms: count)."""
         flat: dict[str, float] = {}

@@ -261,6 +261,103 @@ class TimelineSampler:
         }
 
 
+#: Series name predicates for :func:`merge_timelines`. Everything whose
+#: name matches a *weighted* pattern is an intensive quantity (a rate or
+#: a percentile) and merges as a throughput-weighted mean; every other
+#: series is extensive (ops, bytes, counts, busy time, occupancy levels)
+#: and merges as an element-wise sum — the property the merge tests pin.
+_WEIGHTED_SUFFIXES = ("_p50_usec", "_p99_usec")
+_WEIGHTED_EXACT = ("cache.hit_rate", "rowcache.hit_rate")
+
+
+def _is_weighted_series(name: str) -> bool:
+    return name.endswith(_WEIGHTED_SUFFIXES) or name in _WEIGHTED_EXACT
+
+
+def merge_timelines(timelines: list[dict]) -> dict:
+    """Merge per-shard :meth:`TimelineSampler.to_dict` exports.
+
+    All inputs must share one ``interval_ms``; rows are aligned by
+    interval index (every shard's simulated clock starts at zero, so row
+    ``k`` of every shard covers the same simulated window). Extensive
+    series — throughput, byte counters, compaction counts, busy time,
+    probe levels — sum element-wise, which is exactly what one sampler
+    observing the combined stream would have recorded. Intensive series
+    (interval percentiles, cache hit rates) cannot be recovered from
+    per-shard aggregates; they merge as a mean weighted by each shard's
+    interval throughput, which is exact for hit rates when lookups track
+    ops and a documented approximation for percentiles. Phase markers
+    come from the first (longest-phased) input; ``dropped`` sums.
+
+    The merge is a pure function of the input list, independent of any
+    execution order — the fleet's worker-count invariance rests on it.
+    """
+    timelines = [t for t in timelines if t]
+    if not timelines:
+        return {}
+    interval_ms = timelines[0]["interval_ms"]
+    for timeline in timelines:
+        if timeline["interval_ms"] != interval_ms:
+            raise ObservabilityError(
+                f"cannot merge timelines with differing intervals: "
+                f"{timeline['interval_ms']} vs {interval_ms}"
+            )
+    length = max(len(t["t_ms"]) for t in timelines)
+    names = sorted({name for t in timelines for name in t["series"]})
+    # Tie-break equal-length inputs on their marker content, not their
+    # list position: phase provenance must be order-invariant too (the
+    # merge property tests reverse the input list and diff the result).
+    longest = max(
+        timelines,
+        key=lambda t: (
+            len(t["t_ms"]),
+            [(float(m[0]), str(m[1])) for m in t["phases"]],
+            list(t["phase"]),
+        ),
+    )
+    # The merged grid: interval boundaries of the longest timeline.
+    t_ms = list(longest["t_ms"])
+    phase = list(longest["phase"])
+    weights = []  # per input: per-row throughput weight (ops proxy)
+    for timeline in timelines:
+        tp = timeline["series"].get("throughput_kops")
+        weights.append(tp if tp is not None else [1.0] * len(timeline["t_ms"]))
+    series: dict[str, list[float]] = {}
+    for name in names:
+        weighted = _is_weighted_series(name)
+        out = []
+        for k in range(length):
+            if weighted:
+                acc = 0.0
+                weight_total = 0.0
+                for timeline, wvec in zip(timelines, weights):
+                    values = timeline["series"].get(name)
+                    if values is None or k >= len(values):
+                        continue
+                    w = wvec[k] if k < len(wvec) else 0.0
+                    acc += values[k] * w
+                    weight_total += w
+                out.append(acc / weight_total if weight_total else 0.0)
+            else:
+                total = 0.0
+                for timeline in timelines:
+                    values = timeline["series"].get(name)
+                    if values is not None and k < len(values):
+                        total += values[k]
+                out.append(total)
+        series[name] = out
+    return {
+        "schema": 1,
+        "interval_ms": interval_ms,
+        "capacity": max(t["capacity"] for t in timelines),
+        "dropped": sum(t["dropped"] for t in timelines),
+        "phases": [list(marker) for marker in longest["phases"]],
+        "t_ms": t_ms,
+        "phase": phase,
+        "series": series,
+    }
+
+
 def timeline_series(timeline: dict, name: str) -> list[float]:
     """One series' values from a :meth:`TimelineSampler.to_dict` export."""
     series = timeline.get("series", {})

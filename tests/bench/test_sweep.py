@@ -88,3 +88,26 @@ class TestSweepCli:
 
     def test_cli_rejects_unknown_shape(self, capsys):
         assert main(["sweep", "--shapes", "spiral"]) == 2
+
+    def test_jobs_do_not_change_the_artifacts(self, tmp_path, capsys):
+        # Cells are independent seeded runs, so fanning them over a
+        # process pool must leave sweep.json and every cell artifact
+        # byte-identical to the inline run.
+        grids = {}
+        for jobs in ("1", "2"):
+            out = str(tmp_path / f"jobs{jobs}")
+            code = main(
+                ["sweep", *TINY, "--shapes", "leveling", "tiering",
+                 "--mixes", "90", "--jobs", jobs, "--out", out]
+            )
+            assert code == 0
+            capsys.readouterr()
+            grids[jobs] = {
+                "index": open(os.path.join(out, "sweep.json")).read(),
+                "cells": {
+                    name: open(os.path.join(out, name)).read()
+                    for name in sorted(os.listdir(out))
+                    if name != "sweep.json"
+                },
+            }
+        assert grids["1"] == grids["2"]

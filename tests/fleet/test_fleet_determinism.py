@@ -1,0 +1,106 @@
+"""Worker-count invariance, pinned to committed digests.
+
+The fleet contract: the merged artifact is a pure function of the
+``FleetConfig`` — never of ``--jobs``, process scheduling, or wall-clock
+time. The fast test proves bit-identity between an inline run and a
+2-process spawn run of the same 4-shard fleet, and pins the result to a
+committed digest so cross-PR drift is caught even when both job counts
+drift together.
+
+The slow companion is the ISSUE-scale run — 16 shards, 10^7 fleet
+operations — that only manifests behaviours (level spills, compaction
+cascades, pool backlog) the small run never reaches:
+
+    PYTHONPATH=src python -m pytest -m slow tests/fleet/test_fleet_determinism.py
+
+If a simulated-behaviour change is intentional, rerun the test and copy
+the digest from the assertion message into the EXPECTED constant.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.bench.compare import comparable_scalars
+from repro.fleet.runner import FleetConfig, default_tenants, run_fleet
+
+#: sha256 over the sorted-key JSON of comparable_scalars(merged result).
+EXPECTED_FAST_DIGEST = (
+    "e2f43c027b3a69231012bac65db3fbae10f55ca98e337486f2ed86f42a497531"
+)
+EXPECTED_SLOW_DIGEST = (
+    "7dec35e507f601efa52e8e72932222669d2880c06b561f2866363c32da35bdd0"
+)
+
+
+def digest(result):
+    payload = json.dumps(comparable_scalars(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fast_config():
+    # Sub-ms sampling: smoke shards simulate only a few ms, and the
+    # digest must cover a populated timeline + device-pool overlay.
+    return FleetConfig(
+        shards=4,
+        tenants=default_tenants(2, keys_per_tenant=1_500),
+        total_operations=6_000,
+        seed=0,
+        sample_interval_ms=0.5,
+    )
+
+
+class TestWorkerCountInvariance:
+    def test_jobs_do_not_change_the_artifact(self):
+        # One inline run, one through the spawn pool: the full JSON
+        # artifacts (metrics, timeline, attribution, fleet block) must
+        # be byte-identical — --jobs buys wall clock and nothing else.
+        config = fast_config()
+        inline = run_fleet(config, jobs=1)
+        fanned = run_fleet(config, jobs=2)
+        a = json.dumps(inline.to_json(), sort_keys=True)
+        b = json.dumps(fanned.to_json(), sort_keys=True)
+        assert a == b
+
+        got = digest(inline)
+        assert got == EXPECTED_FAST_DIGEST, (
+            "4-shard fleet metrics drifted from the committed digest "
+            f"(got {got}); if the behaviour change is intentional, update "
+            "EXPECTED_FAST_DIGEST in this test"
+        )
+
+    def test_seed_still_matters(self):
+        # Guard against the invariance being vacuous (everything
+        # collapsing to one artifact regardless of config).
+        base = run_fleet(fast_config(), jobs=1)
+        reseeded = FleetConfig(
+            shards=4,
+            tenants=default_tenants(2, keys_per_tenant=1_500),
+            total_operations=6_000,
+            seed=1,
+            sample_interval_ms=0.5,
+        )
+        other = run_fleet(reseeded, jobs=1)
+        assert base.to_json() != other.to_json()
+
+
+@pytest.mark.slow
+def test_issue_scale_fleet_matches_committed_digest():
+    # The ISSUE acceptance run: 16 shards, 10^7 fleet ops over four
+    # 100k-key tenants. jobs=4 exercises the pool at scale; invariance
+    # vs jobs=1 is already pinned by the fast test, so this run only
+    # checks the digest (a second full run would double the wall clock).
+    config = FleetConfig(
+        shards=16,
+        tenants=default_tenants(4, keys_per_tenant=100_000),
+        total_operations=10_000_000,
+        seed=0,
+    )
+    result = run_fleet(config, jobs=4)
+    got = digest(result)
+    assert got == EXPECTED_SLOW_DIGEST, (
+        "16-shard fleet metrics drifted from the committed digest "
+        f"(got {got}); if the behaviour change is intentional, update "
+        "EXPECTED_SLOW_DIGEST in this test"
+    )
