@@ -85,10 +85,7 @@ def git_commit() -> str:
         return "unknown"
 
 
-def append_trajectory_point(
-    results: dict[str, RunResult], wall_clock: dict[str, float]
-) -> None:
-    """Append one per-PR trajectory point to BENCH_SMOKE.json."""
+def _load_history() -> dict:
     history: dict = {"schema": 1, "points": []}
     if os.path.exists(SMOKE_FILE):
         try:
@@ -98,6 +95,57 @@ def append_trajectory_point(
                 history = loaded
         except (OSError, json.JSONDecodeError):
             pass  # corrupt history: start over rather than fail the gate
+    return history
+
+
+def _write_history(history: dict) -> None:
+    with open(SMOKE_FILE, "w", encoding="utf-8") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _point_key(point: dict) -> tuple[str, str]:
+    """A point's identity for duplicate detection.
+
+    Two points are duplicates when they have the same commit and
+    identical *simulated* system metrics. Wall-clock seconds and micro
+    timings are real-time measurements that jitter between otherwise
+    identical runs, so they are excluded — re-running the gate on an
+    unchanged tree should not grow the trajectory.
+    """
+    systems = {
+        name: {
+            key: value
+            for key, value in metrics.items()
+            if key != "wall_clock_sec"
+        }
+        for name, metrics in point.get("systems", {}).items()
+    }
+    return point.get("commit", ""), json.dumps(systems, sort_keys=True)
+
+
+def prune_duplicate_points(points: list[dict]) -> tuple[list[dict], int]:
+    """Collapse consecutive duplicate points, keeping each first occurrence."""
+    kept: list[dict] = []
+    for point in points:
+        if kept and _point_key(kept[-1]) == _point_key(point):
+            continue
+        kept.append(point)
+    return kept, len(points) - len(kept)
+
+
+def append_trajectory_point(
+    results: dict[str, RunResult],
+    wall_clock: dict[str, float],
+    micros: dict[str, float] | None = None,
+) -> None:
+    """Append one per-PR trajectory point to BENCH_SMOKE.json.
+
+    Skips the append (leaving the file untouched) when the new point
+    duplicates the last one — same commit, same simulated metrics — so
+    repeated gate runs on an unchanged tree add one point, not many.
+    """
+    history = _load_history()
     point = {
         "commit": git_commit(),
         "unix_time": int(time.time()),
@@ -115,10 +163,21 @@ def append_trajectory_point(
             for system, result in results.items()
         },
     }
-    history["points"].append(point)
-    with open(SMOKE_FILE, "w", encoding="utf-8") as fh:
-        json.dump(history, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    if micros:
+        # Best-of micro timings (µs per unit); real-time like wall_clock.
+        point["micros"] = {
+            name: round(best_usec, 4) for name, best_usec in micros.items()
+        }
+    points = history["points"]
+    if points and _point_key(points[-1]) == _point_key(point):
+        print(
+            "[perf-gate] trajectory point matches the last one "
+            f"(commit {point['commit']}, identical simulated metrics); "
+            "not appending a duplicate"
+        )
+        return
+    points.append(point)
+    _write_history(history)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,7 +192,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fleet-jobs", type=int, default=1,
                         help="worker processes for the fleet smoke (results "
                              "are jobs-invariant; default: 1)")
+    parser.add_argument("--prune-duplicates", action="store_true",
+                        help="maintenance mode: collapse consecutive "
+                             "duplicate points already in BENCH_SMOKE.json "
+                             "and exit (no smoke runs)")
     args = parser.parse_args(argv)
+
+    if args.prune_duplicates:
+        history = _load_history()
+        history["points"], removed = prune_duplicate_points(history["points"])
+        _write_history(history)
+        print(
+            f"[perf-gate] pruned {removed} duplicate point(s); "
+            f"{len(history['points'])} remain in {SMOKE_FILE}"
+        )
+        return 0
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     results: dict[str, RunResult] = {}
@@ -188,8 +261,28 @@ def main(argv: list[str] | None = None) -> int:
     wall_clock["fleet"] = time.perf_counter() - started
     gate("fleet", fleet_result)
 
-    append_trajectory_point(results, wall_clock)
-    print(f"[perf-gate] trajectory point appended to {SMOKE_FILE}")
+    # Encoded-domain hot-path micros (quick scale): tracked per PR so
+    # the trajectory records simulator-speed levers, not just the e2e
+    # smoke wall clock. Best-of timings in µs per unit.
+    from repro.bench.micro import run_micro
+
+    micros: dict[str, float] = {}
+    for name in (
+        "compaction.encoded_merge",
+        "codec.encode",
+        "codec.decode",
+        "runner.read_fastlane",
+        "e2e.smoke",
+    ):
+        for micro in run_micro(quick=True, name_filter=name):
+            micros[micro.name] = micro.best_ns / 1e3
+    print(
+        "[perf-gate] micros (us, best): "
+        + ", ".join(f"{name} {usec:.2f}" for name, usec in micros.items())
+    )
+
+    append_trajectory_point(results, wall_clock, micros)
+    print(f"[perf-gate] trajectory point recorded in {SMOKE_FILE}")
     return 1 if failed else 0
 
 

@@ -128,6 +128,32 @@ class MutantDB(LsmDB):
             self._last_epoch_usec = self.clock.now
             self.run_optimizer_epoch()
 
+    def read_lane(self):
+        """Base read lane with the per-op epoch check prepended."""
+        if type(self).get is not MutantDB.get:
+            return self.get
+        base = self._build_read_lane()
+        maybe_epoch = self._maybe_run_epoch
+
+        def lookup(user_key):
+            maybe_epoch()
+            return base(user_key)
+
+        return lookup
+
+    def write_lane(self):
+        """Base write lane with the per-op epoch check prepended."""
+        if type(self)._write is not MutantDB._write or type(self).put is not LsmDB.put:
+            return self.put
+        base = self._build_write_lane()
+        maybe_epoch = self._maybe_run_epoch
+
+        def commit(user_key, value):
+            maybe_epoch()
+            return base(user_key, value)
+
+        return commit
+
     # ------------------------------------------------------------------
     # The optimizer
     # ------------------------------------------------------------------

@@ -440,13 +440,17 @@ class WorkloadRunner:
     # Phase drivers
     #
     # All three phases consume RequestBatch chunks (parallel arrays of
-    # int op codes / keys / values / scan lengths) and bind every
-    # per-op attribute lookup to a local once per batch. Workloads that
-    # only speak the per-op Request protocol (replayed traces) are
-    # adapted through batches_from_requests, so there is exactly one hot
-    # loop per phase. The per-op accounting — clock.advance(latency /
-    # clients) after every operation — is unchanged from the per-op
-    # runner, which is what keeps simulated results bit-identical.
+    # int op codes / keys / values / scan lengths). Each batch is walked
+    # as maximal *groups* of consecutive same-opcode requests, and every
+    # group dispatches through the engine's phase-scoped fast lanes
+    # (``db.read_lane()`` / ``db.write_lane()``: the per-op pipeline with
+    # stable handles hoisted and the attribution branches compiled out —
+    # see docs/PERFORMANCE.md). Workloads that only speak the per-op
+    # Request protocol (replayed traces) are adapted through
+    # batches_from_requests, so there is exactly one hot loop per phase.
+    # The per-op accounting — clock.advance(latency / clients) after
+    # every operation — is unchanged from the per-op runner, which is
+    # what keeps simulated results bit-identical.
     # ------------------------------------------------------------------
     @staticmethod
     def _phase_batches(workload, phase: str):
@@ -460,12 +464,12 @@ class WorkloadRunner:
         db = self.db
         start = db.clock.now
         self._mark_phase("load")
-        put = db.put
+        commit = db.write_lane()
         advance = db.clock.advance
         clients = self.clients
         for batch in self._phase_batches(workload, "load"):
             for key, value in zip(batch.keys, batch.values):
-                advance(put(key, value).latency_usec / clients)
+                advance(commit(key, value).latency_usec / clients)
         db.flush()
         return db.clock.now - start
 
@@ -474,27 +478,106 @@ class WorkloadRunner:
         db = self.db
         start = db.clock.now
         self._mark_phase("warmup")
-        get = db.get
-        put = db.put
+        lookup = db.read_lane()
+        commit = db.write_lane()
         scan = db.scan
         advance = db.clock.advance
         clients = self.clients
         for batch in self._phase_batches(workload, "warmup"):
+            kinds = batch.kinds
             keys = batch.keys
             values = batch.values
             lengths = batch.scan_lengths
-            for i, kind in enumerate(batch.kinds):
+            n = len(kinds)
+            i = 0
+            while i < n:
+                kind = kinds[i]
+                j = i + 1
+                while j < n and kinds[j] == kind:
+                    j += 1
                 if kind == OP_READ:
-                    latency = get(keys[i]).latency_usec
+                    for k in range(i, j):
+                        advance(lookup(keys[k]).latency_usec / clients)
                 elif kind != OP_SCAN:
-                    latency = put(keys[i], values[i]).latency_usec
+                    for k in range(i, j):
+                        advance(commit(keys[k], values[k]).latency_usec / clients)
                 else:
-                    latency = scan(keys[i], lengths[i]).latency_usec
-                advance(latency / clients)
+                    for k in range(i, j):
+                        advance(scan(keys[k], lengths[k]).latency_usec / clients)
+                i = j
         return db.clock.now - start
 
     def run(self, workload: YCSBWorkload) -> float:
         """Transaction phase; returns simulated elapsed usec."""
+        if self.attribution is not None:
+            return self._run_attributed(workload)
+        db = self.db
+        start = db.clock.now
+        self._mark_phase("run")
+        lookup = db.read_lane()
+        commit = db.write_lane()
+        scan = db.scan
+        advance = db.clock.advance
+        clients = self.clients
+        record_read = self.read_latency.record
+        record_update = self.update_latency.record
+        record_scan = self.scan_latency.record
+        observe_read_hist = self._op_hist["read"].observe
+        observe_update_hist = self._op_hist["update"].observe
+        observe_scan_hist = self._op_hist["scan"].observe
+        by_source = self.read_latency_by_source
+        observe_read = self._observe_read
+        ops = 0
+        for batch in self._phase_batches(workload, "run"):
+            kinds = batch.kinds
+            keys = batch.keys
+            values = batch.values
+            lengths = batch.scan_lengths
+            n = len(kinds)
+            ops += n
+            i = 0
+            while i < n:
+                kind = kinds[i]
+                j = i + 1
+                while j < n and kinds[j] == kind:
+                    j += 1
+                if kind == OP_READ:
+                    for k in range(i, j):
+                        result = lookup(keys[k])
+                        latency = result.latency_usec
+                        record_read(latency)
+                        source = result.served_by
+                        bucket = by_source.get(source)
+                        if bucket is None:
+                            bucket = by_source[source] = LatencyRecorder()
+                        bucket.record(latency)
+                        observe_read_hist(latency)
+                        observe_read(source, latency)
+                        advance(latency / clients)
+                elif kind != OP_SCAN:
+                    for k in range(i, j):
+                        latency = commit(keys[k], values[k]).latency_usec
+                        record_update(latency)
+                        observe_update_hist(latency)
+                        advance(latency / clients)
+                else:
+                    for k in range(i, j):
+                        latency = scan(keys[k], lengths[k]).latency_usec
+                        record_scan(latency)
+                        observe_scan_hist(latency)
+                        advance(latency / clients)
+                i = j
+        self._ops_run += ops
+        return db.clock.now - start
+
+    def _run_attributed(self, workload: YCSBWorkload) -> float:
+        """Transaction phase with per-request latency attribution.
+
+        Attribution threads an OpContext through every call, which the
+        lanes deliberately compile out, so this path keeps the per-op
+        ``ctx`` dispatch. Latencies and side-effect ordering match
+        :meth:`run` exactly; only the observation plumbing differs.
+        """
         db = self.db
         start = db.clock.now
         self._mark_phase("run")
@@ -519,7 +602,7 @@ class WorkloadRunner:
             lengths = batch.scan_lengths
             for i, kind in enumerate(batch.kinds):
                 if kind == OP_READ:
-                    ctx = attr.begin("read") if attr is not None else None
+                    ctx = attr.begin("read")
                     result = get(keys[i], ctx=ctx)
                     latency = result.latency_usec
                     record_read(latency)
@@ -531,12 +614,12 @@ class WorkloadRunner:
                     observe_read_hist(latency)
                     observe_read(source, latency)
                 elif kind != OP_SCAN:
-                    ctx = attr.begin("update") if attr is not None else None
+                    ctx = attr.begin("update")
                     latency = put(keys[i], values[i], ctx=ctx).latency_usec
                     record_update(latency)
                     observe_update_hist(latency)
                 else:
-                    ctx = attr.begin("scan") if attr is not None else None
+                    ctx = attr.begin("scan")
                     latency = scan(keys[i], lengths[i], ctx=ctx).latency_usec
                     record_scan(latency)
                     observe_scan_hist(latency)

@@ -459,6 +459,151 @@ def _bench_fleet_merge_results():
 _MERGE_SHARDS = 4
 
 
+def _bench_compaction_encoded_merge():
+    """The encoded-domain leveled merge, per record merged.
+
+    Builds one upper and two overlapping lower tables once, then runs
+    the same planned job through a fresh manifest/executor pair each
+    iteration — the inputs are immutable SSTables, so every execution
+    re-reads the same spans and the timed region is the merge itself
+    (span scan, key/seqno ordering, routing, fused emission), not table
+    construction.
+    """
+    from repro.common import KIB, SimClock
+    from repro.lsm.block_cache import BlockCache
+    from repro.lsm.compaction import (
+        CompactDownRouter,
+        CompactionExecutor,
+        CompactionJob,
+        LargestFilePicker,
+    )
+    from repro.lsm.layout import build_layout
+    from repro.lsm.options import DBOptions
+    from repro.lsm.record import Record, ValueKind
+    from repro.lsm.sstable import SSTableBuilder
+    from repro.lsm.version import LevelManifest
+    from repro.storage import StorageBackend
+
+    options = DBOptions(
+        memtable_bytes=4 * KIB,
+        target_file_bytes=64 * KIB,
+        level1_target_bytes=128 * KIB,
+        level_size_multiplier=4,
+        block_bytes=4 * KIB,
+    )
+    clock = SimClock()
+    backend = StorageBackend(clock)
+    layout = build_layout("NNNNN", options, clock)
+
+    def build_table(level: int, keys) -> object:
+        builder = SSTableBuilder(
+            backend,
+            layout.tier_for_level(level),
+            block_bytes=options.block_bytes,
+            target_file_bytes=1 << 30,
+        )
+        for seqno, key in enumerate(sorted(keys), start=1):
+            builder.add(Record(key, seqno, ValueKind.PUT, b"v" * 32))
+        table, _ = builder.finish()
+        return table
+
+    upper = [build_table(1, [f"k{i:06d}".encode() for i in range(0, 2_000, 2)])]
+    lower = [
+        build_table(2, [f"k{i:06d}".encode() for i in range(0, 1_000, 2)]),
+        build_table(2, [f"k{i:06d}".encode() for i in range(1_000, 2_000, 2)]),
+    ]
+    records_per_merge = 2_000
+    job = CompactionJob(
+        style="leveled",
+        upper_level=1,
+        lower_level=2,
+        upper_inputs=upper,
+        lower_inputs=lower,
+        upper_lo=upper[0].smallest_key,
+        upper_hi=upper[0].largest_key,
+        drop_tombstones=True,
+    )
+
+    def op(n: int) -> int:
+        merges = max(1, n // records_per_merge)
+        for _ in range(merges):
+            manifest = LevelManifest(options.num_levels)
+            for table in upper:
+                manifest.add_file(1, table)
+            for table in lower:
+                manifest.add_file(2, table)
+            executor = CompactionExecutor(
+                backend, manifest, layout, options, BlockCache(64 * KIB),
+                LargestFilePicker(), CompactDownRouter(),
+            )
+            executor.execute(job)
+            # The merge deletes its inputs; resurrect them so the next
+            # iteration replays the identical job (reads address the
+            # SimFile object directly, so flipping the tombstone and
+            # re-allocating tier capacity is all a replay needs).
+            for table in upper + lower:
+                file = table.file
+                if file.deleted:
+                    file.deleted = False
+                    file.tier.allocate(file.size)
+        return merges * records_per_merge
+
+    return op, True
+
+
+def _codec_artifact():
+    """One representative schema-2 artifact: timeline + attribution on."""
+    from repro.bench.harness import SystemConfig, run_experiment
+    from repro.workloads.ycsb import YCSBConfig
+
+    return run_experiment(
+        SystemConfig(system="prismdb", layout_code="NNNTQ", seed=0),
+        YCSBConfig.read_update(50, record_count=500, operation_count=800, seed=0),
+        label="micro/codec",
+        sample_interval_ms=5.0,
+        attribution_sample_every=1,
+    )
+
+
+def _bench_codec_encode():
+    """Binary artifact codec, encode side: one full RunResult per op."""
+    from repro.bench.codec import encode_result
+
+    result = _codec_artifact()
+
+    def op(n: int) -> None:
+        for _ in range(n):
+            encode_result(result)
+
+    return op, True
+
+
+def _bench_codec_decode():
+    """Binary artifact codec, decode side: one full RunResult per op."""
+    from repro.bench.codec import decode_result, encode_result
+
+    blob = encode_result(_codec_artifact())
+
+    def op(n: int) -> None:
+        for _ in range(n):
+            decode_result(blob)
+
+    return op, True
+
+
+def _bench_runner_read_fastlane():
+    """The harness's grouped read dispatch: one fast-lane lookup per op."""
+    db, keys = _make_attribution_db()
+    n_keys = len(keys)
+
+    def op(n: int) -> None:
+        lookup = db.read_lane()
+        for i in range(n):
+            lookup(keys[i % n_keys])
+
+    return op, False
+
+
 def _bench_e2e_smoke():
     """End-to-end: the perf gate's seeded YCSB-A smoke run, wall-clock."""
     from repro.bench.harness import SystemConfig, run_experiment
@@ -489,13 +634,17 @@ BENCHMARKS: dict[str, tuple[str, Callable]] = {
     "skiplist.insert": ("memtable skiplist insert", _bench_skiplist_insert),
     "skiplist.seek": ("memtable skiplist point lookup", _bench_skiplist_seek),
     "merge.records": ("4-way sorted-run merge, per record", _bench_merge_records),
+    "compaction.encoded_merge": ("encoded leveled compaction, per record", _bench_compaction_encoded_merge),
     "zipfian.sample": ("scrambled zipfian key draw", _bench_zipfian_sample),
     "zipfian.setup": ("generator construction, zeta cache cold", _bench_zipfian_setup),
     "key.intern": ("interned workload key lookup", _bench_key_intern),
     "runner.batched": ("batched YCSB op generation, per op", _bench_runner_batched),
+    "runner.read_fastlane": ("read fast-lane lookup, per op", _bench_runner_read_fastlane),
     "metrics.counter_inc": ("labelled counter lookup + increment", _bench_metrics_counter),
     "attribution.get_off": ("point read, attribution disabled", _bench_attribution_off),
     "attribution.get_on": ("point read with a live OpContext", _bench_attribution_on),
+    "codec.encode": ("binary-encode a full run artifact", _bench_codec_encode),
+    "codec.decode": ("decode a binary run artifact", _bench_codec_decode),
     "fleet.route": ("consistent-hash shard lookup, 16 shards", _bench_fleet_route),
     "fleet.merge_results": ("merge 4 shard artifacts (per shard folded)", _bench_fleet_merge_results),
     "e2e.smoke": ("full 5k-op YCSB-A smoke run (per DB operation)", _bench_e2e_smoke),

@@ -52,6 +52,11 @@ class ReadAwareRouter(MergeRouter):
     #: pass and bury hot keys (§4.3).
     supports_trivial_move = False
 
+    #: Routing consults only the key, kind, encoded size, and source
+    #: level — all available without a Record — so the encoded-domain
+    #: merge may call :meth:`route_up_key` directly.
+    supports_encoded_routing = True
+
     def __init__(
         self,
         tracker: ClockTracker,
@@ -99,13 +104,23 @@ class ReadAwareRouter(MergeRouter):
         self._upper_level = upper_level
 
     def route_up(self, record: Record, source_level: int) -> bool:
+        return self.route_up_key(
+            record.user_key,
+            0 if record.kind is _DELETE else 1,
+            record.encoded_size(),
+            source_level,
+        )
+
+    def route_up_key(
+        self, user_key: bytes, kind_code: int, encoded_size: int, source_level: int
+    ) -> bool:
         self.stats.considered += 1
         if self._upper_level == 0:
             # Pinning into L0 buys nothing: every L0 compaction takes all
             # L0 files, so a pinned record would just be rewritten on the
             # next job. Hot keys get pinned from L1 down instead.
             return False
-        if record.kind is _DELETE:
+        if kind_code == 0:
             # Tombstones are never read; pinning them would waste fast
             # storage and delay space reclamation.
             self.stats.rejected_tombstone += 1
@@ -113,11 +128,11 @@ class ReadAwareRouter(MergeRouter):
         if self._require_full_tracker and not self._tracker.is_full:
             self.stats.suspended_tracker_not_full += 1
             return False
-        clock = self._tracker.clock_value(record.user_key)
+        clock = self._tracker.clock_value(user_key)
         if clock < 0:
             self.stats.rejected_untracked += 1
             return False
-        size = record.encoded_size()
+        size = encoded_size
         is_pull = source_level != self._upper_level
         if is_pull and not self._allow_pull_up:
             # Ablation knob: retention-only pinning, no up-compaction.
@@ -126,9 +141,7 @@ class ReadAwareRouter(MergeRouter):
         if size > (self._pull_budget_bytes if is_pull else self._budget_bytes):
             self.stats.rejected_budget_exhausted += 1
             return False
-        if not self._mapper.should_pin_key(
-            record.user_key, clock, self.pinning_threshold
-        ):
+        if not self._mapper.should_pin_key(user_key, clock, self.pinning_threshold):
             self.stats.rejected_by_threshold += 1
             return False
         if is_pull:

@@ -144,3 +144,24 @@ class PrismDB(LsmDB):
         # Direct construction instead of dataclasses.replace(): replace()
         # re-walks the field list on every read.
         return ReadResult(result.value, latency, result.served_by, result.seqno)
+
+    def read_lane(self):
+        """The base read lane plus the tracker tail of :meth:`get`."""
+        if type(self).get is not PrismDB.get:
+            return self.get
+        base = self._build_read_lane()
+        tracker_overhead = self.options.tracker_overhead_usec
+        obs_tracked_inc = self._obs_tracked_reads.inc
+        on_read = self.tracker.on_read
+        run_evictions = self.tracker.run_evictions
+        eviction_steps = self.prism_options.eviction_steps_per_read
+
+        def lookup(user_key):
+            result = base(user_key)
+            latency = result.latency_usec + tracker_overhead
+            obs_tracked_inc()
+            on_read(user_key, result.seqno or 0)
+            run_evictions(eviction_steps)
+            return ReadResult(result.value, latency, result.served_by, result.seqno)
+
+        return lookup

@@ -34,6 +34,13 @@ from repro.errors import ConfigError
 #: CLOCK value for keys the tracker does not know (§4.3).
 UNTRACKED = -1
 
+#: version -> 6-bit tag. The tag is a pure function of the version and
+#: hot workloads re-read the same recent versions constantly, so the
+#: hash runs once per distinct version instead of once per read. Capped
+#: like the bloom hash cache; versions are dense small ints in practice.
+_TAG_CACHE: dict[int, int] = {}
+_TAG_CACHE_MAX = 1 << 20
+
 
 @dataclass
 class TrackerStats:
@@ -111,8 +118,13 @@ class ClockTracker:
 
     @staticmethod
     def _version_tag(version: int) -> int:
-        """The bottom 6 bits of the version hash (§5)."""
-        return fnv1a_64(version.to_bytes(8, "little")) & 0x3F
+        """The bottom 6 bits of the version hash (§5), memoized."""
+        tag = _TAG_CACHE.get(version)
+        if tag is None:
+            tag = fnv1a_64(version.to_bytes(8, "little")) & 0x3F
+            if len(_TAG_CACHE) < _TAG_CACHE_MAX:
+                _TAG_CACHE[version] = tag
+        return tag
 
     # ------------------------------------------------------------------
     # Read path
@@ -159,6 +171,12 @@ class ClockTracker:
         thread" budget). Without it the hand runs until occupancy is
         back at capacity.
         """
+        if len(self._entries) <= self.capacity:
+            # Nothing overflows; the hand would not move. Skip straight
+            # to the occupancy gauge the full path ends with.
+            if self._obs is not None:
+                self._obs_occupancy.set(len(self._entries))
+            return 0
         budget = max_steps if max_steps is not None else self._eviction_batch * max(
             1, len(self._entries) - self.capacity
         ) * (self.max_clock + 2)

@@ -77,11 +77,13 @@ def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes; results are bit-identical "
                              "for any value (default: 1)")
-    parser.add_argument("--sample-interval-ms", type=float, default=10.0,
+    parser.add_argument("--sample-interval-ms", type=float, default=None,
                         metavar="MS",
                         help="timeline sampling interval in simulated ms; the "
                              "device-pool overlay is computed from the merged "
-                             "timeline (default: 10)")
+                             "timeline (default: auto — scales with --ops so "
+                             "smoke-scale runs still produce timeline rows; "
+                             "see auto_sample_interval_ms)")
     parser.add_argument("--attribution", action="store_true",
                         help="record per-request latency attribution on every "
                              "shard (merged into the fleet artifact; makes "
@@ -90,6 +92,20 @@ def add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
                         help="attribute every N-th request (default: 1)")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="save the merged fleet RunResult JSON here")
+
+
+def auto_sample_interval_ms(total_operations: int) -> float:
+    """Default timeline sampling interval for a fleet of ``total_operations``.
+
+    A fleet's simulated duration grows with its op count, so a fixed
+    10 ms default left smoke-scale runs (a few simulated ms per shard)
+    with *empty* merged timelines unless the caller remembered to pass
+    a sub-ms interval by hand. Scale the interval with the op count —
+    one simulated ms per 10k fleet ops — so every run keeps a usable
+    row count out of the box, clamped to [0.5, 50] ms so tiny runs
+    still sample sub-ms and huge runs do not drown in rows.
+    """
+    return max(0.5, min(50.0, total_operations / 10_000))
 
 
 def build_fleet_config(args: argparse.Namespace) -> FleetConfig:
@@ -126,7 +142,11 @@ def build_fleet_config(args: argparse.Namespace) -> FleetConfig:
         vnodes=args.vnodes,
         group_commit=args.group_commit,
         oversubscription=args.oversubscription,
-        sample_interval_ms=args.sample_interval_ms,
+        sample_interval_ms=(
+            args.sample_interval_ms
+            if args.sample_interval_ms is not None
+            else auto_sample_interval_ms(args.ops)
+        ),
         attribution_sample_every=(
             args.attr_sample_every if args.attribution else None
         ),

@@ -24,6 +24,14 @@ global top-K) or is a documented deterministic approximation:
 
 ``tests/fleet/test_merge_properties.py`` pins the exactness claims
 against a single recorder fed the combined stream.
+
+The merge is exposed two ways: :class:`ShardAccumulator` folds results
+one at a time — the fleet router feeds it each shard artifact as the
+worker pool streams them back, so decoded shards are consumed on
+arrival instead of piling up behind a barrier — and
+:func:`merge_run_results` wraps the accumulator for callers that
+already hold the full list. Both reduce in shard order, so they produce
+bit-identical artifacts.
 """
 
 from __future__ import annotations
@@ -71,106 +79,187 @@ def _sum_rows(metrics: dict, name: str, label: str | None = None) -> float:
     return total
 
 
-def _sum_dicts(dicts: list[dict]) -> dict:
-    out: dict = {}
-    for d in dicts:
-        for key, value in d.items():
-            out[key] = out.get(key, 0) + value
-    return out
+class ShardAccumulator:
+    """Fold shard :class:`RunResult` artifacts into one fleet result.
+
+    ``add`` consumes one shard at a time; the fleet router calls it as
+    each worker's artifact streams back from the pool, so the merge
+    overlaps the slowest shard's simulation instead of waiting behind a
+    barrier. All scalar/dict accumulators are left-to-right reductions
+    in ``add`` order — exactly the ``sum()``/``max()``/first-seen-key
+    folds the list-based merge performed — so feeding shards in shard
+    order produces a bit-identical artifact. Only the three blocks whose
+    merge functions need the full collection (metrics registry,
+    timeline, attribution) are deferred to :meth:`finish`.
+    """
+
+    def __init__(self) -> None:
+        self._first: RunResult | None = None
+        self._count = 0
+        self._operations = 0
+        self._elapsed_usec = 0.0
+        self._throughput_kops = 0.0
+        self._compactions = 0
+        self._compaction_read_bytes = 0
+        self._compaction_write_bytes = 0
+        self._flush_bytes = 0
+        self._wal_bytes = 0
+        self._user_write_bytes = 0
+        self._pinned_records = 0
+        self._pulled_up_records = 0
+        self._migrations = 0
+        self._migration_bytes = 0
+        self._storage_cost_dollars = 0.0
+        self._reads_by_source: dict = {}
+        self._per_level_write_bytes: dict = {}
+        self._device_read_bytes: dict = {}
+        self._device_write_bytes: dict = {}
+        self._wear_sums: dict = {}
+        self._lifetimes: dict[str, float] = {}
+        self._metrics: list[dict] = []
+        self._timelines: list[dict] = []
+        self._attributions: list[dict] = []
+
+    def __len__(self) -> int:
+        return self._count
+
+    @staticmethod
+    def _fold_dict(into: dict, more: dict) -> None:
+        for key, value in more.items():
+            into[key] = into.get(key, 0) + value
+
+    def add(self, result: RunResult) -> None:
+        """Fold one shard's result in (shards must share system/layout)."""
+        first = self._first
+        if first is None:
+            self._first = first = result
+        elif (
+            result.system != first.system
+            or result.layout_code != first.layout_code
+        ):
+            raise ConfigError(
+                "fleet shards must share system and layout: "
+                f"{result.system}/{result.layout_code} vs "
+                f"{first.system}/{first.layout_code}"
+            )
+        self._count += 1
+        self._operations += result.operations
+        if result.elapsed_usec > self._elapsed_usec:
+            self._elapsed_usec = result.elapsed_usec
+        self._throughput_kops += result.throughput_kops
+        self._compactions += result.compactions
+        self._compaction_read_bytes += result.compaction_read_bytes
+        self._compaction_write_bytes += result.compaction_write_bytes
+        self._flush_bytes += result.flush_bytes
+        self._wal_bytes += result.wal_bytes
+        self._user_write_bytes += result.user_write_bytes
+        self._pinned_records += result.pinned_records
+        self._pulled_up_records += result.pulled_up_records
+        self._migrations += result.migrations
+        self._migration_bytes += result.migration_bytes
+        self._storage_cost_dollars += result.storage_cost_dollars
+        self._fold_dict(self._reads_by_source, result.reads_by_source)
+        self._fold_dict(self._per_level_write_bytes, result.per_level_write_bytes)
+        self._fold_dict(self._device_read_bytes, result.device_read_bytes)
+        self._fold_dict(self._device_write_bytes, result.device_write_bytes)
+        self._fold_dict(self._wear_sums, result.device_wear_cycles)
+        for tier, years in result.device_lifetime_years.items():
+            current = self._lifetimes.get(tier)
+            self._lifetimes[tier] = (
+                years if current is None else min(current, years)
+            )
+        self._metrics.append(result.metrics)
+        self._timelines.append(result.timeline)
+        self._attributions.append(result.attribution)
+
+    def finish(self, *, label: str = "fleet") -> RunResult:
+        """Merge the deferred blocks and build the fleet-level result."""
+        first = self._first
+        if first is None:
+            raise ConfigError("cannot merge an empty result list")
+
+        metrics = MetricsRegistry.merge_snapshots(self._metrics)
+
+        # Latency populations from the merged registry histograms.
+        read = _summary_from_row(_find_row(metrics, "op.latency_usec", op="read"))
+        update = _summary_from_row(
+            _find_row(metrics, "op.latency_usec", op="update")
+        )
+        scan = _summary_from_row(_find_row(metrics, "op.latency_usec", op="scan"))
+        by_source: dict[str, LatencySummary] = {}
+        source_metric = metrics.get("read.latency_usec")
+        if source_metric is not None:
+            for row in source_metric["series"]:
+                by_source[row["labels"]["source"]] = _summary_from_row(row)
+
+        cache_hits = _sum_rows(metrics, "cache.hits")
+        cache_misses = _sum_rows(metrics, "cache.misses")
+        data_hits = _sum_rows(metrics, "cache.hits", label="data")
+        data_misses = _sum_rows(metrics, "cache.misses", label="data")
+
+        flush_bytes = self._flush_bytes
+        wal_bytes = self._wal_bytes
+        user_write_bytes = self._user_write_bytes
+        compaction_write_bytes = self._compaction_write_bytes
+
+        return RunResult(
+            label=label,
+            system=first.system,
+            layout_code=first.layout_code,
+            operations=self._operations,
+            elapsed_usec=self._elapsed_usec,
+            throughput_kops=self._throughput_kops,
+            read_latency=read,
+            update_latency=update,
+            scan_latency=scan,
+            reads_by_source=self._reads_by_source,
+            read_latency_by_source=by_source,
+            cache_hit_rate=(
+                cache_hits / (cache_hits + cache_misses)
+                if cache_hits + cache_misses
+                else 0.0
+            ),
+            cache_hit_rate_data=(
+                data_hits / (data_hits + data_misses)
+                if data_hits + data_misses
+                else 0.0
+            ),
+            compactions=self._compactions,
+            compaction_read_bytes=self._compaction_read_bytes,
+            compaction_write_bytes=compaction_write_bytes,
+            flush_bytes=flush_bytes,
+            wal_bytes=wal_bytes,
+            user_write_bytes=user_write_bytes,
+            write_amplification=(
+                (flush_bytes + compaction_write_bytes + wal_bytes)
+                / user_write_bytes
+                if user_write_bytes
+                else 0.0
+            ),
+            per_level_write_bytes=self._per_level_write_bytes,
+            pinned_records=self._pinned_records,
+            pulled_up_records=self._pulled_up_records,
+            migrations=self._migrations,
+            migration_bytes=self._migration_bytes,
+            device_read_bytes=self._device_read_bytes,
+            device_write_bytes=self._device_write_bytes,
+            device_wear_cycles={
+                tier: total / self._count
+                for tier, total in self._wear_sums.items()
+            },
+            device_lifetime_years=self._lifetimes,
+            storage_cost_dollars=self._storage_cost_dollars,
+            metrics=metrics,
+            timeline=merge_timelines(self._timelines),
+            attribution=merge_attributions(self._attributions),
+        )
 
 
 def merge_run_results(
     results: list[RunResult], *, label: str = "fleet"
 ) -> RunResult:
     """Fold per-shard :class:`RunResult` artifacts into one fleet result."""
-    if not results:
-        raise ConfigError("cannot merge an empty result list")
-    first = results[0]
+    accumulator = ShardAccumulator()
     for result in results:
-        if result.system != first.system or result.layout_code != first.layout_code:
-            raise ConfigError(
-                "fleet shards must share system and layout: "
-                f"{result.system}/{result.layout_code} vs "
-                f"{first.system}/{first.layout_code}"
-            )
-
-    metrics = MetricsRegistry.merge_snapshots([r.metrics for r in results])
-
-    # Latency populations from the merged registry histograms.
-    read = _summary_from_row(_find_row(metrics, "op.latency_usec", op="read"))
-    update = _summary_from_row(_find_row(metrics, "op.latency_usec", op="update"))
-    scan = _summary_from_row(_find_row(metrics, "op.latency_usec", op="scan"))
-    by_source: dict[str, LatencySummary] = {}
-    source_metric = metrics.get("read.latency_usec")
-    if source_metric is not None:
-        for row in source_metric["series"]:
-            by_source[row["labels"]["source"]] = _summary_from_row(row)
-
-    cache_hits = _sum_rows(metrics, "cache.hits")
-    cache_misses = _sum_rows(metrics, "cache.misses")
-    data_hits = _sum_rows(metrics, "cache.hits", label="data")
-    data_misses = _sum_rows(metrics, "cache.misses", label="data")
-
-    flush_bytes = sum(r.flush_bytes for r in results)
-    wal_bytes = sum(r.wal_bytes for r in results)
-    user_write_bytes = sum(r.user_write_bytes for r in results)
-    compaction_write_bytes = sum(r.compaction_write_bytes for r in results)
-
-    wear_sums = _sum_dicts([r.device_wear_cycles for r in results])
-    lifetimes: dict[str, float] = {}
-    for result in results:
-        for tier, years in result.device_lifetime_years.items():
-            current = lifetimes.get(tier)
-            lifetimes[tier] = years if current is None else min(current, years)
-
-    return RunResult(
-        label=label,
-        system=first.system,
-        layout_code=first.layout_code,
-        operations=sum(r.operations for r in results),
-        elapsed_usec=max(r.elapsed_usec for r in results),
-        throughput_kops=sum(r.throughput_kops for r in results),
-        read_latency=read,
-        update_latency=update,
-        scan_latency=scan,
-        reads_by_source=_sum_dicts([r.reads_by_source for r in results]),
-        read_latency_by_source=by_source,
-        cache_hit_rate=(
-            cache_hits / (cache_hits + cache_misses)
-            if cache_hits + cache_misses
-            else 0.0
-        ),
-        cache_hit_rate_data=(
-            data_hits / (data_hits + data_misses)
-            if data_hits + data_misses
-            else 0.0
-        ),
-        compactions=sum(r.compactions for r in results),
-        compaction_read_bytes=sum(r.compaction_read_bytes for r in results),
-        compaction_write_bytes=compaction_write_bytes,
-        flush_bytes=flush_bytes,
-        wal_bytes=wal_bytes,
-        user_write_bytes=user_write_bytes,
-        write_amplification=(
-            (flush_bytes + compaction_write_bytes + wal_bytes) / user_write_bytes
-            if user_write_bytes
-            else 0.0
-        ),
-        per_level_write_bytes=_sum_dicts(
-            [r.per_level_write_bytes for r in results]
-        ),
-        pinned_records=sum(r.pinned_records for r in results),
-        pulled_up_records=sum(r.pulled_up_records for r in results),
-        migrations=sum(r.migrations for r in results),
-        migration_bytes=sum(r.migration_bytes for r in results),
-        device_read_bytes=_sum_dicts([r.device_read_bytes for r in results]),
-        device_write_bytes=_sum_dicts([r.device_write_bytes for r in results]),
-        device_wear_cycles={
-            tier: total / len(results) for tier, total in wear_sums.items()
-        },
-        device_lifetime_years=lifetimes,
-        storage_cost_dollars=sum(r.storage_cost_dollars for r in results),
-        metrics=metrics,
-        timeline=merge_timelines([r.timeline for r in results]),
-        attribution=merge_attributions([r.attribution for r in results]),
-    )
+        accumulator.add(result)
+    return accumulator.finish(label=label)

@@ -8,12 +8,17 @@ pins to committed digests:
   — its seed is ``derive_seed(config.seed, "fleet", "shard<i>")``, its
   workload is the router-partitioned slice, and nothing it computes
   depends on which process ran it or when.
-* Workers return JSON-safe ``RunResult.to_json()`` dicts (the same
-  bytes the artifact file would hold), and :func:`fan_out` returns them
-  in shard order regardless of completion order.
-* The merge (:mod:`repro.fleet.merge`) and the device-pool overlay
-  (:mod:`repro.fleet.pool`) are pure functions of the ordered result
-  list.
+* Workers return their artifact as one binary blob
+  (:func:`repro.bench.codec.encode_result` — a length-prefixed encoding
+  of the same tree ``to_json()`` builds, with an exact-round-trip
+  guarantee), and :func:`stream_fan_out` yields the blobs in shard
+  order regardless of completion order. ``jobs == 1`` rides the same
+  encode/decode path, so a single-process run cannot diverge from a
+  pooled one.
+* The router decodes each blob as it streams back and folds it into a
+  :class:`~repro.fleet.merge.ShardAccumulator`; the accumulator and the
+  device-pool overlay (:mod:`repro.fleet.pool`) are pure functions of
+  the ordered result sequence.
 
 Therefore the merged fleet artifact is **bit-identical for any
 ``--jobs`` value** — ``--jobs`` buys wall-clock time and nothing else.
@@ -23,11 +28,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bench.codec import decode_result, encode_result
 from repro.bench.harness import RunResult, SystemConfig, WorkloadRunner, build_system
 from repro.common.rng import derive_seed
 from repro.errors import ConfigError
-from repro.fleet.fanout import fan_out
-from repro.fleet.merge import merge_run_results
+from repro.fleet.fanout import stream_fan_out
+from repro.fleet.merge import ShardAccumulator
 from repro.fleet.pool import DevicePool, PoolParams
 from repro.fleet.router import ConsistentHashRouter
 from repro.fleet.workload import ShardWorkload, TenantSpec
@@ -159,10 +165,15 @@ def run_shard(config: FleetConfig, shard_id: int) -> RunResult:
     return result
 
 
-def _shard_worker(payload: tuple[FleetConfig, int]) -> dict:
-    """Spawn-safe pool entrypoint: run one shard, return its JSON artifact."""
+def _shard_worker(payload: tuple[FleetConfig, int]) -> bytes:
+    """Spawn-safe pool entrypoint: run one shard, return its encoded artifact.
+
+    The result crosses the process boundary as one binary blob instead
+    of a deep JSON dict — pickle moves a single ``bytes`` object rather
+    than re-walking thousands of timeline/metric nodes per shard.
+    """
     config, shard_id = payload
-    return run_shard(config, shard_id).to_json()
+    return encode_result(run_shard(config, shard_id))
 
 
 def run_fleet(config: FleetConfig, *, jobs: int = 1) -> RunResult:
@@ -174,10 +185,30 @@ def run_fleet(config: FleetConfig, *, jobs: int = 1) -> RunResult:
     of ``jobs`` or elapsed real time.
     """
     payloads = [(config, shard_id) for shard_id in range(config.shards)]
-    raw = fan_out(_shard_worker, payloads, jobs)
-    shard_results = [RunResult.from_json(data) for data in raw]
-    merged = merge_run_results(
-        shard_results, label=f"fleet/{config.system}/{config.shards}shards"
+    accumulator = ShardAccumulator()
+    keys_per_shard: list[int] = []
+    operations_per_shard: list[int] = []
+    per_shard: list[dict] = []
+    # Decode and fold each artifact the moment its (payload-order) turn
+    # streams back, so merge work overlaps the still-running shards and
+    # full shard results never accumulate behind a barrier.
+    for blob in stream_fan_out(_shard_worker, payloads, jobs):
+        result = decode_result(blob)
+        accumulator.add(result)
+        keys_per_shard.append(sum(result.fleet["owned_keys"].values()))
+        operations_per_shard.append(result.fleet["operations"])
+        per_shard.append(
+            {
+                "shard": result.fleet["shard"],
+                "operations": result.operations,
+                "throughput_kops": result.throughput_kops,
+                "read_p99_usec": result.read_latency.p99,
+                "update_p99_usec": result.update_latency.p99,
+                "write_amplification": result.write_amplification,
+            }
+        )
+    merged = accumulator.finish(
+        label=f"fleet/{config.system}/{config.shards}shards"
     )
 
     pool = DevicePool(
@@ -207,23 +238,9 @@ def run_fleet(config: FleetConfig, *, jobs: int = 1) -> RunResult:
             }
             for tenant in config.tenants
         ],
-        "keys_per_shard": [
-            sum(result.fleet["owned_keys"].values()) for result in shard_results
-        ],
-        "operations_per_shard": [
-            result.fleet["operations"] for result in shard_results
-        ],
+        "keys_per_shard": keys_per_shard,
+        "operations_per_shard": operations_per_shard,
         "pool": contention,
-        "per_shard": [
-            {
-                "shard": result.fleet["shard"],
-                "operations": result.operations,
-                "throughput_kops": result.throughput_kops,
-                "read_p99_usec": result.read_latency.p99,
-                "update_p99_usec": result.update_latency.p99,
-                "write_amplification": result.write_amplification,
-            }
-            for result in shard_results
-        ],
+        "per_shard": per_shard,
     }
     return merged

@@ -40,25 +40,46 @@ _PER_RECORD = _REC_HEADER.size + _OFFSET.size
 
 
 class DataBlockBuilder:
-    """Accumulates records (already in internal-key order) into one block."""
+    """Accumulates records (already in internal-key order) into one block.
 
-    __slots__ = ("target_bytes", "_records", "_estimated", "_last_key", "_last_inv")
+    Contents are kept *encoded*: :meth:`add` serializes the record
+    immediately, and :meth:`add_span` accepts a pre-encoded record as a
+    ``[start, end)`` span of some source buffer — the encoded-domain
+    compaction path, where merge inputs are re-emitted without ever
+    materializing Record objects. Adjacent spans over the same buffer are
+    coalesced in place, so a run of records copied from one input block
+    becomes a single slice in the final ``bytes.join``. Both entry points
+    produce byte-identical blocks because the wire encoding of a record
+    is a pure function of its fields.
+    """
+
+    __slots__ = (
+        "target_bytes", "_parts", "_offsets", "_position",
+        "_estimated", "_first_key", "_last_key", "_last_inv",
+    )
 
     def __init__(self, target_bytes: int) -> None:
         if target_bytes <= 0:
             raise ValueError(f"target_bytes must be positive: {target_bytes}")
         self.target_bytes = target_bytes
-        self._records: list[Record] = []
+        #: Encoded content: ``bytes`` entries (from :meth:`add`) mixed
+        #: with mutable ``[buf, start, end]`` span entries (from
+        #: :meth:`add_span`; mutable so a contiguous follow-up span can
+        #: extend ``end`` in place instead of appending).
+        self._parts: list = []
+        self._offsets: list[int] = []
+        self._position = 0
         # Size is maintained incrementally (payload + one u32 restart
         # offset per record + the count trailer), and the order check
         # keeps the previous (key, inverted-seqno) pair instead of
         # building two sort-key tuples per add.
         self._estimated = _COUNT.size
+        self._first_key: bytes | None = None
         self._last_key: bytes | None = None
         self._last_inv = 0
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._offsets)
 
     @property
     def estimated_bytes(self) -> int:
@@ -75,41 +96,67 @@ class DataBlockBuilder:
                 f"records out of order: {key!r}@{record.seqno} "
                 f"after {last_key!r}@{MAX_SEQNO - self._last_inv}"
             )
+        if self._first_key is None:
+            self._first_key = key
         self._last_key = key
         self._last_inv = inv
-        self._records.append(record)
-        # Inlined record.encoded_size(): header + key + value, plus the
-        # restart offset this record adds to the trailer.
-        self._estimated += _PER_RECORD + len(key) + len(record.value)
+        encoded = record.encode()
+        self._offsets.append(self._position)
+        self._parts.append(encoded)
+        self._position += len(encoded)
+        self._estimated += _OFFSET.size + len(encoded)
+
+    def add_span(self, key: bytes, seqno: int, buf, start: int, end: int) -> None:
+        """Append one record already encoded at ``buf[start:end]``.
+
+        The caller (the encoded compaction merge) guarantees internal-key
+        order, so no order check runs; the (key, inverted-seqno) cursor
+        is still advanced so interleaved :meth:`add` calls stay safe.
+        """
+        if self._first_key is None:
+            self._first_key = key
+        self._last_key = key
+        self._last_inv = MAX_SEQNO - seqno
+        self._offsets.append(self._position)
+        parts = self._parts
+        if parts:
+            tail = parts[-1]
+            if type(tail) is list and tail[0] is buf and tail[2] == start:
+                tail[2] = end
+            else:
+                parts.append([buf, start, end])
+        else:
+            parts.append([buf, start, end])
+        self._position += end - start
+        self._estimated += _OFFSET.size + (end - start)
 
     def is_full(self) -> bool:
         return self._estimated >= self.target_bytes
 
     @property
     def first_key(self) -> bytes | None:
-        return self._records[0].user_key if self._records else None
+        return self._first_key
 
     @property
     def last_key(self) -> bytes | None:
-        return self._records[-1].user_key if self._records else None
+        return self._last_key
 
     def finish(self) -> bytes:
         """Serialize and reset the builder."""
-        if len(self._records) > 0xFFFF:
-            raise ValueError(f"too many records in one block: {len(self._records)}")
-        parts: list[bytes] = []
-        offsets: list[int] = []
-        position = 0
-        for record in self._records:
-            offsets.append(position)
-            encoded = record.encode()
-            parts.append(encoded)
-            position += len(encoded)
-        if offsets:
-            parts.append(struct.pack(f"<{len(offsets)}I", *offsets))
-        parts.append(_COUNT.pack(len(self._records)))
-        self._records = []
+        count = len(self._offsets)
+        if count > 0xFFFF:
+            raise ValueError(f"too many records in one block: {count}")
+        parts: list = []
+        for part in self._parts:
+            parts.append(part if type(part) is bytes else part[0][part[1]:part[2]])
+        if count:
+            parts.append(struct.pack(f"<{count}I", *self._offsets))
+        parts.append(_COUNT.pack(count))
+        self._parts = []
+        self._offsets = []
+        self._position = 0
         self._estimated = _COUNT.size
+        self._first_key = None
         self._last_key = None
         self._last_inv = 0
         return b"".join(parts)
@@ -264,6 +311,76 @@ def extend_records_from(
         raise CorruptionError(
             f"trailing garbage in data block: {records_end - offset} bytes"
         )
+
+
+def extend_spans_from(
+    buf,
+    base: int,
+    length: int,
+    keys: list[bytes],
+    seqnos: list[int],
+    kinds: list[int],
+    starts: list[int],
+    ends: list[int],
+) -> int:
+    """Append each record of a block as parallel arrays of encoded spans.
+
+    The encoded-domain counterpart of :func:`extend_records_from`: walks
+    the block at ``buf[base : base + length]`` and appends, per record,
+    its user key (always real ``bytes``, so key comparisons work), its
+    seqno and wire kind code, and the ``[start, end)`` byte span of the
+    record's full encoding within ``buf`` — enough for a merge to order,
+    shadow, route, and re-emit records as slices without ever building a
+    :class:`Record`. Returns the number of records appended.
+    """
+    end_of_block = base + length
+    if length < _COUNT.size or end_of_block > len(buf):
+        raise CorruptionError("truncated data block")
+    (count,) = _COUNT.unpack_from(buf, end_of_block - _COUNT.size)
+    records_end = end_of_block - _COUNT.size - count * _OFFSET.size
+    if records_end < base:
+        raise CorruptionError(
+            f"truncated restart array: {count} records, {length} bytes"
+        )
+    unpack_header = _REC_HEADER.unpack_from
+    header_size = _REC_HEADER.size
+    # Bound methods and a hoisted buffer-type check: this loop runs once
+    # per record of every compaction input, so per-iteration attribute
+    # lookups are measurable against the little real work it does.
+    keys_append = keys.append
+    seqnos_append = seqnos.append
+    kinds_append = kinds.append
+    starts_append = starts.append
+    ends_append = ends.append
+    raw_bytes = type(buf) is bytes
+    offset = base
+    for _ in range(count):
+        if offset + header_size > records_end:
+            raise CorruptionError(f"truncated record header at offset {offset}")
+        key_len, value_len, kind, seqno = unpack_header(buf, offset)
+        if kind > 1:
+            raise CorruptionError(f"bad record kind {kind} at offset {offset}")
+        if seqno > MAX_SEQNO:
+            raise CorruptionError(f"seqno out of range at offset {offset}: {seqno}")
+        start = offset
+        key_start = offset + header_size
+        key_end = key_start + key_len
+        offset = key_end + value_len
+        if offset > records_end:
+            raise CorruptionError(f"truncated record body at offset {start}")
+        key = buf[key_start:key_end]
+        if not raw_bytes:
+            key = bytes(key)
+        keys_append(key)
+        seqnos_append(seqno)
+        kinds_append(kind)
+        starts_append(start)
+        ends_append(offset)
+    if offset != records_end:
+        raise CorruptionError(
+            f"trailing garbage in data block: {records_end - offset} bytes"
+        )
+    return count
 
 
 def search_block(records: list[Record], user_key: bytes) -> Record | None:

@@ -112,6 +112,41 @@ class BloomFilter:
         cache = _HASH_CACHE
         cache_get = cache.get
         cache_max = _HASH_CACHE_MAX
+        if n_probes == 7:
+            # The default geometry (bits_per_key=10 -> round(10*ln2)=7
+            # probes) covers every build in the reproduction; unrolling
+            # the probe loop drops the per-probe loop machinery, which
+            # measurably speeds up every flush and compaction finish.
+            # Bit-for-bit identical to the generic loop below.
+            for key in keys:
+                base = cache_get(key)
+                if base is None:
+                    base = hash_fn(key)
+                    if len(cache) < cache_max:
+                        cache[key] = base
+                h2 = (base >> 32) | 1
+                h = base & 0xFFFFFFFF
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+                h += h2
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+                h += h2
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+                h += h2
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+                h += h2
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+                h += h2
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+                h += h2
+                pos = h % n_bits
+                bits[pos >> 3] |= 1 << (pos & 7)
+            return
         for key in keys:
             base = cache_get(key)
             if base is None:
@@ -132,6 +167,34 @@ class BloomFilter:
         n_bits = self._n_bits
         bits = self._bits
         h = base & 0xFFFFFFFF
+        if self._n_probes == 7:
+            # Unrolled for the default geometry, mirroring add_many.
+            pos = h % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h += h2
+            pos = h % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h += h2
+            pos = h % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h += h2
+            pos = h % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h += h2
+            pos = h % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h += h2
+            pos = h % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+            h += h2
+            pos = h % n_bits
+            return bool(bits[pos >> 3] & (1 << (pos & 7)))
         for _ in range(self._n_probes):
             pos = h % n_bits
             if not bits[pos >> 3] & (1 << (pos & 7)):

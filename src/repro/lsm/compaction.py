@@ -38,7 +38,7 @@ from repro.lsm.block_cache import BlockCache
 from repro.lsm.iterators import merge_sorted_lists
 from repro.lsm.layout import StorageLayout
 from repro.lsm.options import DBOptions
-from repro.lsm.record import Record, ValueKind
+from repro.lsm.record import MAX_SEQNO, Record, ValueKind
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.version import LevelManifest
 from repro.obs import NOOP_TRACER, MetricsRegistry, Tracer
@@ -109,6 +109,20 @@ class MergeRouter(abc.ABC):
     #: :meth:`allows_trivial_move`.
     supports_trivial_move: bool = True
 
+    #: Whether :meth:`route_up_key` may replace :meth:`route_up` on the
+    #: encoded-domain merge path. Routers that need the full Record
+    #: (e.g. value-inspecting subclasses) leave this False and the
+    #: executor falls back to the record-based merge for them, so
+    #: ``DBOptions.encoded_compaction`` can never change their decisions.
+    supports_encoded_routing: bool = False
+
+    #: True when :meth:`route_up_key` returns False unconditionally and
+    #: without side effects (classic compact-down behaviour). The
+    #: encoded merges skip the per-record routing call entirely for such
+    #: routers — one method invocation per record is measurable against
+    #: the little work the merge loop does.
+    never_routes_up: bool = False
+
     def allows_trivial_move(self, table: SSTable) -> bool:
         """Per-file trivial-move veto; defaults to the class-wide flag."""
         return self.supports_trivial_move
@@ -137,6 +151,22 @@ class MergeRouter(abc.ABC):
     def route_up(self, record: Record, source_level: int) -> bool:
         """True to retain/pull the record in/to the upper level."""
 
+    def route_up_key(
+        self, user_key: bytes, kind_code: int, encoded_size: int, source_level: int
+    ) -> bool:
+        """Record-free routing decision for the encoded merge path.
+
+        ``kind_code`` is the wire code (0 = DELETE, 1 = PUT) and
+        ``encoded_size`` the record's full on-disk size — together the
+        only Record fields :meth:`route_up` implementations may consult
+        besides the key. Must be behaviourally identical to
+        :meth:`route_up` on routers that set
+        :attr:`supports_encoded_routing`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support encoded routing"
+        )
+
     def clock_value_fn(self):
         """Optional key -> CLOCK value function for output file scoring."""
         return None
@@ -146,8 +176,15 @@ class CompactDownRouter(MergeRouter):
     """Classic LSM behaviour: every record moves to the lower level."""
 
     supports_trivial_move = True
+    supports_encoded_routing = True
+    never_routes_up = True
 
     def route_up(self, record: Record, source_level: int) -> bool:
+        return False
+
+    def route_up_key(
+        self, user_key: bytes, kind_code: int, encoded_size: int, source_level: int
+    ) -> bool:
         return False
 
 
@@ -344,6 +381,38 @@ class CompactionExecutor:
             sources.append(records)
         return sources
 
+    def _read_encoded_inputs(
+        self,
+        tables: list[SSTable],
+        level: int,
+        keys: list[bytes],
+        seqnos: list[int],
+        kinds: list[int],
+        starts: list[int],
+        ends: list[int],
+        bufs: list,
+    ) -> int:
+        """Scan ``tables`` into the parallel span arrays; records appended.
+
+        Accounting is identical to :meth:`_read_inputs` — same device
+        reads, same stats and counters — but no Record objects exist:
+        each table contributes its key/seqno/kind/span columns plus one
+        buffer reference per record (``bufs`` is per-record so the merge
+        can slice without tracking run boundaries).
+        """
+        total = 0
+        read_counter = self.metrics.counter("compaction.read_bytes", level=level)
+        for table in tables:
+            buf, count, _ = table.read_all_spans(
+                keys, seqnos, kinds, starts, ends, foreground=False
+            )
+            self.stats.bytes_read += table.size_bytes
+            self.stats.records_in += count
+            read_counter.inc(table.size_bytes)
+            bufs.extend([buf] * count)
+            total += count
+        return total
+
     def _job_span(self, name: str, upper_level: int, lower_level: int, inputs: int):
         """A tracer span plus the device set whose busy time it attributes."""
         upper_tier = self._layout.tier_for_level(upper_level)
@@ -403,6 +472,46 @@ class CompactionExecutor:
             level, lower_level, upper_lo, upper_hi, upper_budget, upper_budget
         )
 
+        if self._options.encoded_compaction and self._router.supports_encoded_routing:
+            new_upper, new_lower = self._merge_leveled_encoded(
+                level, upper_inputs, lower_inputs, upper_lo, upper_hi, bottom
+            )
+        else:
+            new_upper, new_lower = self._merge_leveled_records(
+                level, upper_inputs, lower_inputs, upper_lo, upper_hi, bottom
+            )
+
+        for table in upper_inputs:
+            self._manifest.remove_file(level, table)
+        for table in lower_inputs:
+            self._manifest.remove_file(lower_level, table)
+        for table in new_upper:
+            self._add_output(level, table)
+        for table in new_lower:
+            self._add_output(lower_level, table)
+        for table in upper_inputs + lower_inputs:
+            self._cache.invalidate_file(table.file_id)
+            self._backend.delete_file(table.file)
+
+        self.stats.compactions += 1
+        self.metrics.counter("compaction.count", level=level).inc()
+
+    def _merge_leveled_records(
+        self,
+        level: int,
+        upper_inputs: list[SSTable],
+        lower_inputs: list[SSTable],
+        upper_lo: bytes,
+        upper_hi: bytes,
+        bottom: bool,
+    ) -> tuple[list[SSTable], list[SSTable]]:
+        """The record-based leveled merge loop (executable specification).
+
+        Kept verbatim as the reference the encoded path is proven
+        against (tests/lsm/test_encoded_merge.py); also the fallback for
+        routers without encoded-routing support.
+        """
+        lower_level = level + 1
         upper_sources = self._read_inputs(upper_inputs, level)
         lower_sources = self._read_inputs(lower_inputs, lower_level)
 
@@ -453,23 +562,89 @@ class CompactionExecutor:
                 continue
             lower_writer.add(record)
 
-        new_upper = upper_writer.finish()
-        new_lower = lower_writer.finish()
+        return upper_writer.finish(), lower_writer.finish()
 
-        for table in upper_inputs:
-            self._manifest.remove_file(level, table)
-        for table in lower_inputs:
-            self._manifest.remove_file(lower_level, table)
-        for table in new_upper:
-            self._add_output(level, table)
-        for table in new_lower:
-            self._add_output(lower_level, table)
-        for table in upper_inputs + lower_inputs:
-            self._cache.invalidate_file(table.file_id)
-            self._backend.delete_file(table.file)
+    def _merge_leveled_encoded(
+        self,
+        level: int,
+        upper_inputs: list[SSTable],
+        lower_inputs: list[SSTable],
+        upper_lo: bytes,
+        upper_hi: bytes,
+        bottom: bool,
+    ) -> tuple[list[SSTable], list[SSTable]]:
+        """The encoded-domain leveled merge: no Record objects anywhere.
 
-        self.stats.compactions += 1
-        self.metrics.counter("compaction.count", level=level).inc()
+        Inputs are scanned as parallel span arrays; ordering is an index
+        argsort (two stable C sorts reproducing merge_sorted_lists'
+        order exactly — seqnos are globally unique, so the order is the
+        unique internal-key order); origin recovery is a positional
+        comparison (upper-table records occupy the array prefix); and
+        survivors are re-emitted as byte slices of the input files.
+        """
+        lower_level = level + 1
+        keys: list[bytes] = []
+        seqnos: list[int] = []
+        kinds: list[int] = []
+        starts: list[int] = []
+        ends: list[int] = []
+        bufs: list = []
+        n_upper = self._read_encoded_inputs(
+            upper_inputs, level, keys, seqnos, kinds, starts, ends, bufs
+        )
+        self._read_encoded_inputs(
+            lower_inputs, lower_level, keys, seqnos, kinds, starts, ends, bufs
+        )
+
+        order = list(range(len(keys)))
+        order.sort(key=seqnos.__getitem__, reverse=True)
+        order.sort(key=keys.__getitem__)
+
+        upper_writer = _OutputWriter(self, level)
+        lower_writer = _OutputWriter(self, lower_level)
+        pinned_counter = self.metrics.counter("compaction.records", kind="pinned")
+        pulled_counter = self.metrics.counter("compaction.records", kind="pulled_up")
+        dropped_counter = self.metrics.counter("compaction.records", kind="tombstone_dropped")
+        stats = self.stats
+        route_up_key = (
+            None if self._router.never_routes_up else self._router.route_up_key
+        )
+        add_upper = upper_writer.add_encoded
+        add_lower = lower_writer.add_encoded
+        last_key: bytes | None = None
+        for idx in order:
+            user_key = keys[idx]
+            if user_key == last_key:
+                stats.shadowed_dropped += 1
+                continue
+            last_key = user_key
+            start = starts[idx]
+            end = ends[idx]
+            kind_code = kinds[idx]
+            source_level = level if idx < n_upper else lower_level
+
+            route_up = False
+            if route_up_key is not None and route_up_key(
+                user_key, kind_code, end - start, source_level
+            ):
+                if level == 0 or upper_lo <= user_key <= upper_hi:
+                    route_up = True
+            if route_up:
+                if source_level == level:
+                    stats.records_pinned += 1
+                    pinned_counter.inc()
+                else:
+                    stats.records_pulled_up += 1
+                    pulled_counter.inc()
+                add_upper(user_key, seqnos[idx], kind_code, bufs[idx], start, end)
+                continue
+            if bottom and kind_code == 0:
+                stats.tombstones_dropped += 1
+                dropped_counter.inc()
+                continue
+            add_lower(user_key, seqnos[idx], kind_code, bufs[idx], start, end)
+
+        return upper_writer.finish(), lower_writer.finish()
 
     def _add_output(self, level: int, table: SSTable) -> None:
         """Install one leveled-merge output file at ``level``.
@@ -511,6 +686,29 @@ class CompactionExecutor:
                 upper_budget, 0,
             )
 
+        if self._options.encoded_compaction and self._router.supports_encoded_routing:
+            new_upper, new_lower = self._merge_tiered_encoded(job, consolidation)
+        else:
+            new_upper, new_lower = self._merge_tiered_records(job, consolidation)
+
+        for table in job.upper_inputs:
+            self._manifest.remove_file(upper_level, table)
+        if new_upper:
+            self._install_run(upper_level, new_upper)
+        if new_lower:
+            self._install_run(lower_level, new_lower)
+        for table in job.upper_inputs:
+            self._cache.invalidate_file(table.file_id)
+            self._backend.delete_file(table.file)
+
+        self.stats.compactions += 1
+        self.metrics.counter("compaction.count", level=upper_level).inc()
+
+    def _merge_tiered_records(
+        self, job: CompactionJob, consolidation: bool
+    ) -> tuple[list[SSTable], list[SSTable]]:
+        """The record-based tiered merge loop (executable specification)."""
+        upper_level, lower_level = job.upper_level, job.lower_level
         sources = self._read_inputs(job.upper_inputs, upper_level)
         upper_writer = _OutputWriter(self, upper_level)
         lower_writer = _OutputWriter(self, lower_level)
@@ -538,21 +736,64 @@ class CompactionExecutor:
                 continue
             lower_writer.add(record)
 
-        new_upper = upper_writer.finish()
-        new_lower = lower_writer.finish()
+        return upper_writer.finish(), lower_writer.finish()
 
-        for table in job.upper_inputs:
-            self._manifest.remove_file(upper_level, table)
-        if new_upper:
-            self._install_run(upper_level, new_upper)
-        if new_lower:
-            self._install_run(lower_level, new_lower)
-        for table in job.upper_inputs:
-            self._cache.invalidate_file(table.file_id)
-            self._backend.delete_file(table.file)
+    def _merge_tiered_encoded(
+        self, job: CompactionJob, consolidation: bool
+    ) -> tuple[list[SSTable], list[SSTable]]:
+        """Encoded-domain tiered merge; see :meth:`_merge_leveled_encoded`."""
+        upper_level, lower_level = job.upper_level, job.lower_level
+        keys: list[bytes] = []
+        seqnos: list[int] = []
+        kinds: list[int] = []
+        starts: list[int] = []
+        ends: list[int] = []
+        bufs: list = []
+        self._read_encoded_inputs(
+            job.upper_inputs, upper_level, keys, seqnos, kinds, starts, ends, bufs
+        )
 
-        self.stats.compactions += 1
-        self.metrics.counter("compaction.count", level=upper_level).inc()
+        order = list(range(len(keys)))
+        order.sort(key=seqnos.__getitem__, reverse=True)
+        order.sort(key=keys.__getitem__)
+
+        upper_writer = _OutputWriter(self, upper_level)
+        lower_writer = _OutputWriter(self, lower_level)
+        pinned_counter = self.metrics.counter("compaction.records", kind="pinned")
+        dropped_counter = self.metrics.counter("compaction.records", kind="tombstone_dropped")
+        stats = self.stats
+        route_up_key = (
+            None if self._router.never_routes_up else self._router.route_up_key
+        )
+        add_upper = upper_writer.add_encoded
+        add_lower = lower_writer.add_encoded
+        last_key: bytes | None = None
+        drop_tombstones = job.drop_tombstones
+        if consolidation:
+            route_up_key = None
+        for idx in order:
+            user_key = keys[idx]
+            if user_key == last_key:
+                stats.shadowed_dropped += 1
+                continue
+            last_key = user_key
+            start = starts[idx]
+            end = ends[idx]
+            kind_code = kinds[idx]
+            if route_up_key is not None and route_up_key(
+                user_key, kind_code, end - start, upper_level
+            ):
+                stats.records_pinned += 1
+                pinned_counter.inc()
+                add_upper(user_key, seqnos[idx], kind_code, bufs[idx], start, end)
+                continue
+            if drop_tombstones and kind_code == 0:
+                stats.tombstones_dropped += 1
+                dropped_counter.inc()
+                continue
+            add_lower(user_key, seqnos[idx], kind_code, bufs[idx], start, end)
+
+        return upper_writer.finish(), lower_writer.finish()
 
     def _install_run(self, level: int, tables: list[SSTable]) -> None:
         """Install a merge output as one new sorted run at ``level``."""
@@ -592,6 +833,64 @@ class _OutputWriter:
         self._builder.add(record)
         self._executor.stats.records_out += 1
         if self._builder.should_finish():
+            self._finish_current()
+
+    def add_encoded(
+        self, key: bytes, seqno: int, kind_code: int, buf, start: int, end: int
+    ) -> None:
+        """Emit one record given as an encoded span of an input file.
+
+        This is the per-record body of the encoded merge — the hottest
+        loop in compaction — so :meth:`SSTableBuilder.add_encoded` and
+        :meth:`DataBlockBuilder.add_span` are inlined here: one call
+        frame per record instead of three. Every side effect and its
+        order match the layered path exactly (the encoded-merge
+        equivalence tests pin the output files byte for byte).
+        """
+        builder = self._builder
+        if builder is None:
+            builder = self._builder = self._executor.make_builder(self._level)
+        if builder._smallest is None:
+            builder._smallest = key
+        builder._largest = key
+        # DataBlockBuilder.add_span, inlined (span coalescing included).
+        block = builder._block
+        if block._first_key is None:
+            block._first_key = key
+        block._last_key = key
+        block._last_inv = MAX_SEQNO - seqno
+        block._offsets.append(block._position)
+        parts = block._parts
+        if parts:
+            tail = parts[-1]
+            if type(tail) is list and tail[0] is buf and tail[2] == start:
+                tail[2] = end
+            else:
+                parts.append([buf, start, end])
+        else:
+            parts.append([buf, start, end])
+        size = end - start
+        block._position += size
+        # 4 = the per-record u32 restart-offset cost (block._OFFSET.size).
+        block._estimated = block_estimated = block._estimated + 4 + size
+        # SSTableBuilder.add_encoded bookkeeping, inlined.
+        builder._keys.append(key)
+        builder._entry_count += 1
+        if kind_code == 0:
+            builder._tombstones += 1
+        if seqno > builder._max_seqno:
+            builder._max_seqno = seqno
+        clock_value_fn = builder._clock_value_fn
+        if clock_value_fn is not None:
+            clock = float(clock_value_fn(key))
+            if builder._score_exponent == 3:
+                builder._score += clock * clock * clock
+            else:
+                builder._score += clock ** builder._score_exponent
+        if block_estimated >= block.target_bytes:
+            builder._flush_block()
+        self._executor.stats.records_out += 1
+        if builder._data_bytes + builder._block._estimated >= builder.target_file_bytes:
             self._finish_current()
 
     def _finish_current(self) -> None:

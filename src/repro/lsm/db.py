@@ -31,7 +31,7 @@ from repro.lsm.layout import StorageLayout
 from repro.lsm.manifest_log import ManifestLog, replay_manifest
 from repro.lsm.memtable import Memtable
 from repro.lsm.options import DBOptions
-from repro.lsm.record import Record, ValueKind
+from repro.lsm.record import RECORD_HEADER_SIZE, Record, ValueKind, make_put_record
 from repro.lsm.row_cache import RowCache
 from repro.lsm.sstable import SSTable, SSTableBuilder
 from repro.lsm.strategy import CompactionStrategy, make_picker, make_strategy
@@ -465,6 +465,168 @@ class LsmDB:
         if self.read_hook is not None:
             self.read_hook(user_key, result)
         return result
+
+    # ------------------------------------------------------------------
+    # Fast lanes (batched hot paths)
+    #
+    # A *lane* is a phase-scoped closure equivalent to one operation kind
+    # with ``ctx=None``: every stable handle (stats, manifest, caches,
+    # counters, option scalars) is bound once at build time, and the
+    # attribution branches are compiled out entirely. The closures
+    # re-read only the state that legitimately changes between calls
+    # (``self._memtable`` swaps on flush, ``self.read_hook`` is settable
+    # at runtime). Simulated latencies, counter updates and their
+    # ordering are bit-identical to :meth:`get` / :meth:`put` — the
+    # determinism tests pin this.
+    #
+    # Subclass safety: ``read_lane``/``write_lane`` only build the
+    # inlined closure when the operation methods they replicate are the
+    # ones defined at this class; a subclass that overrides ``get`` or
+    # ``_write`` without supplying its own lane transparently falls back
+    # to the plain per-op call.
+    # ------------------------------------------------------------------
+    def read_lane(self):
+        """Return ``lookup(user_key) -> ReadResult``, equivalent to
+        :meth:`get` with ``ctx=None``."""
+        if type(self).get is not LsmDB.get:
+            return self.get
+        return self._build_read_lane()
+
+    def write_lane(self):
+        """Return ``commit(user_key, value) -> WriteResult``, equivalent
+        to :meth:`put` with ``ctx=None``."""
+        if type(self)._write is not LsmDB._write or type(self).put is not LsmDB.put:
+            return self.put
+        return self._build_write_lane()
+
+    def _build_read_lane(self):
+        """The inlined base read path shared by every system's lane."""
+        self._check_open()
+        cpu_overhead = self._cpu_overhead
+        row_cache_enabled = self._row_cache_enabled
+        row_lookup = self.row_cache.lookup
+        row_insert = self.row_cache.insert
+        candidates_for_key = self.manifest.candidates_for_key
+        num_levels = self.manifest.num_levels
+        level_names = [f"L{level}" for level in range(num_levels)]
+        level_range = range(num_levels)
+        cache = self.cache
+        file_read_counts = self.file_read_counts
+        stats = self.stats
+        reads_by_source_add = self.stats.reads_by_source.add
+        source_counters = self._read_source_counters
+        metrics_counter = self.metrics.counter
+        obs_bloom_skips_inc = self._obs_bloom_skips.inc
+        dram_read_time = DRAM_SPEC.read_time_usec
+
+        def lookup(user_key):
+            latency = cpu_overhead
+            result = None
+            record = self._memtable.get(user_key)
+            if record is not None:
+                latency += dram_read_time(record.encoded_size())
+                result = ReadResult(
+                    None if record.kind is _DELETE else record.value,
+                    latency,
+                    "memtable",
+                    seqno=record.seqno,
+                )
+            elif row_cache_enabled:
+                row_hit, row_value, row_seqno, row_latency = row_lookup(user_key)
+                if row_hit:
+                    latency += row_latency
+                    result = ReadResult(row_value, latency, "rowcache", seqno=row_seqno)
+            if result is None:
+                for level in level_range:
+                    found = None
+                    for table in candidates_for_key(level, user_key):
+                        hit, table_latency, filtered = table.get(
+                            user_key, cache, foreground=True
+                        )
+                        latency += table_latency
+                        file_id = table.file_id
+                        file_read_counts[file_id] = (
+                            file_read_counts.get(file_id, 0) + 1
+                        )
+                        if filtered:
+                            stats.bloom_negative_skips += 1
+                            obs_bloom_skips_inc()
+                        if hit is not None:
+                            found = hit
+                            break
+                    if found is not None:
+                        result = ReadResult(
+                            None if found.kind is _DELETE else found.value,
+                            latency,
+                            level_names[level],
+                            seqno=found.seqno,
+                        )
+                        break
+                if result is None:
+                    result = ReadResult(None, latency, "miss")
+                if row_cache_enabled:
+                    row_insert(user_key, result.value, result.seqno or 0)
+            stats.user_reads += 1
+            value = result.value
+            if value is not None:
+                stats.user_read_bytes += len(value)
+            served_by = result.served_by
+            reads_by_source_add(served_by)
+            counter = source_counters.get(served_by)
+            if counter is None:
+                counter = metrics_counter("db.reads", source=served_by)
+                source_counters[served_by] = counter
+            counter.inc()
+            hook = self.read_hook
+            if hook is not None:
+                hook(user_key, result)
+            return result
+
+        return lookup
+
+    def _build_write_lane(self):
+        """The inlined base put path shared by every system's lane."""
+        self._check_open()
+        cpu_overhead = self._cpu_overhead
+        wal = self.wal
+        wal_append = wal.append if wal is not None else None
+        row_invalidate = self.row_cache.invalidate
+        stats = self.stats
+        obs_writes_inc = self._obs_user_writes.inc
+        obs_write_bytes_inc = self._obs_user_write_bytes.inc
+        memtable_limit = self._memtable_limit
+        dram_write_time = DRAM_SPEC.write_time_usec
+        flush_memtable = self._flush_memtable
+        maybe_compact = self.executor.maybe_compact
+        header_size = RECORD_HEADER_SIZE
+
+        def commit(user_key, value):
+            seqno = self._seqno + 1
+            self._seqno = seqno
+            record = make_put_record(user_key, seqno, value)
+            encoded_size = header_size + len(user_key) + len(value)
+            latency = cpu_overhead
+            if wal_append is not None:
+                latency += wal_append(record, size=encoded_size)
+            row_invalidate(user_key)
+            memtable = self._memtable
+            memtable.add(record)
+            latency += dram_write_time(encoded_size)
+            stats.user_writes += 1
+            stats.user_write_bytes += encoded_size
+            obs_writes_inc()
+            obs_write_bytes_inc(encoded_size)
+            flushed = False
+            compactions = 0
+            if memtable.approximate_bytes >= memtable_limit:
+                flush_memtable()
+                flushed = True
+                compactions = maybe_compact()
+            if wal is not None:
+                stats.wal_bytes = wal.total_bytes
+            return WriteResult(latency, flushed, compactions)
+
+        return commit
 
     def scan(self, start_key: bytes, count: int, *, ctx=None) -> ScanResult:
         """Return up to ``count`` live key-value pairs from ``start_key``."""

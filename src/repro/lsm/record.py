@@ -124,3 +124,27 @@ class Record:
 def record_sort_key(record: Record) -> tuple[bytes, int]:
     """Module-level alias usable as a ``sorted`` key function."""
     return record.internal_sort_key()
+
+
+#: Fixed per-record wire overhead; exported so hot paths can compute
+#: ``encoded_size`` without a method call on a Record in hand.
+RECORD_HEADER_SIZE = _HEADER_SIZE
+
+_PUT = ValueKind.PUT
+
+
+def make_put_record(user_key: bytes, seqno: int, value: bytes) -> Record:
+    """Build a PUT record without the dataclass ``__init__`` walk.
+
+    The write fast lane constructs one record per operation; seqnos are
+    engine-assigned (always in range), so only the user-supplied key
+    length needs checking.
+    """
+    if len(user_key) > 0xFFFF:
+        raise ValueError(f"key too long: {len(user_key)} bytes")
+    record = _NEW_RECORD(Record)
+    record.user_key = user_key
+    record.seqno = seqno
+    record.kind = _PUT
+    record.value = value
+    return record

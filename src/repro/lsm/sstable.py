@@ -21,10 +21,15 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import CorruptionError
-from repro.lsm.block import DataBlock, DataBlockBuilder, extend_records_from
+from repro.lsm.block import (
+    DataBlock,
+    DataBlockBuilder,
+    extend_records_from,
+    extend_spans_from,
+)
 from repro.lsm.block_cache import BlockCache, BlockType
 from repro.lsm.bloom import BloomFilter
-from repro.lsm.record import Record, ValueKind
+from repro.lsm.record import MAX_SEQNO, Record, ValueKind
 from repro.storage.backend import SimFile, StorageBackend
 from repro.storage.device import DRAM_SPEC
 from repro.storage.tier import StorageTier
@@ -126,6 +131,11 @@ class SSTable:
         self._bloom: BloomFilter | None = None
         self._index: list[IndexEntry] | None = None
         self._index_keys: list[bytes] | None = None
+        # Resident filter/index hits charge one DRAM access for a fixed
+        # block length; the latency is a pure function of that length,
+        # so it is computed once per table instead of once per probe.
+        self._bloom_hit_latency = DRAM_SPEC.read_time_usec(filter_length)
+        self._index_hit_latency = DRAM_SPEC.read_time_usec(index_length)
 
     @property
     def file_id(self) -> int:
@@ -155,7 +165,7 @@ class SSTable:
         # the file's lifetime. Resident accesses are DRAM hits.
         if self._bloom is not None:
             cache.record_resident_hit(BlockType.FILTER)
-            latency = DRAM_SPEC.read_time_usec(self.filter_length)
+            latency = self._bloom_hit_latency
             if ctx is not None:
                 ctx.add("filter", "dram", latency)
             return self._bloom, latency
@@ -177,7 +187,7 @@ class SSTable:
         # Index blocks live in the table cache as well (see above).
         if self._index is not None:
             cache.record_resident_hit(BlockType.INDEX)
-            latency = DRAM_SPEC.read_time_usec(self.index_length)
+            latency = self._index_hit_latency
             if ctx is not None:
                 ctx.add("index", "dram", latency)
             return self._index, latency
@@ -274,6 +284,36 @@ class SSTable:
         for entry in index:
             extend_records_from(data, entry.offset, entry.length, records)
         return records, latency
+
+    def read_all_spans(
+        self,
+        keys: list[bytes],
+        seqnos: list[int],
+        kinds: list[int],
+        starts: list[int],
+        ends: list[int],
+        *,
+        foreground: bool = False,
+    ) -> tuple[bytes, int, float]:
+        """Sequentially read every record as an encoded span.
+
+        The encoded-domain counterpart of :meth:`read_all_records`: the
+        device reads are identical (whole data region, then the index if
+        cold), but instead of constructing Record objects it appends one
+        entry per record to the parallel output arrays. The returned
+        buffer is the file's own immutable bytes; spans index into it.
+        Returns (buffer, record_count, latency).
+        """
+        _, latency = self._backend.read(self.file, 0, self.data_length, foreground=foreground)
+        data = self.file.data
+        index, index_latency = self._index_from_disk(foreground=foreground)
+        latency += index_latency
+        count = 0
+        for entry in index:
+            count += extend_spans_from(
+                data, entry.offset, entry.length, keys, seqnos, kinds, starts, ends
+            )
+        return data, count, latency
 
     def _index_from_disk(self, *, foreground: bool) -> tuple[list[IndexEntry], float]:
         if self._index is not None:
@@ -406,7 +446,31 @@ class SSTableBuilder:
         if self._smallest is None:
             self._smallest = key
         self._largest = key
-        self._block.add(record)
+        # DataBlockBuilder.add, inlined: every memtable flush (and the
+        # record-path compaction merge) funnels each record through
+        # here, so one call frame replaces three. Side effects and
+        # their order match the layered path exactly.
+        block = self._block
+        inv = MAX_SEQNO - record.seqno
+        last_key = block._last_key
+        if last_key is not None and (
+            key < last_key or (key == last_key and inv <= block._last_inv)
+        ):
+            raise ValueError(
+                f"records out of order: {key!r}@{record.seqno} "
+                f"after {last_key!r}@{MAX_SEQNO - block._last_inv}"
+            )
+        if block._first_key is None:
+            block._first_key = key
+        block._last_key = key
+        block._last_inv = inv
+        encoded = record.encode()
+        block._offsets.append(block._position)
+        block._parts.append(encoded)
+        size = len(encoded)
+        block._position += size
+        # 4 = the per-record u32 restart-offset cost (block._OFFSET.size).
+        block._estimated = block_estimated = block._estimated + 4 + size
         self._keys.append(key)
         self._entry_count += 1
         if record.kind is _DELETE:
@@ -414,8 +478,43 @@ class SSTableBuilder:
         if record.seqno > self._max_seqno:
             self._max_seqno = record.seqno
         if self._clock_value_fn is not None:
-            clock = self._clock_value_fn(record.user_key)
-            self._score += float(clock) ** self._score_exponent
+            clock = float(self._clock_value_fn(key))
+            if self._score_exponent == 3:
+                # Exact for the integer CLOCK values the trackers emit;
+                # three multiplies beat a pow() call on this hot path.
+                self._score += clock * clock * clock
+            else:
+                self._score += clock ** self._score_exponent
+        if block_estimated >= block.target_bytes:
+            self._flush_block()
+
+    def add_encoded(
+        self, key: bytes, seqno: int, kind_code: int, buf, start: int, end: int
+    ) -> None:
+        """Add one record from its encoded bytes (encoded compaction path).
+
+        Mirrors every side effect of :meth:`add` — boundary keys, bloom
+        key list, tombstone/seqno/score accounting, block rotation —
+        while the payload flows through as a slice of the input file, so
+        the finished table is byte-identical to one built from the
+        equivalent Record objects.
+        """
+        if self._smallest is None:
+            self._smallest = key
+        self._largest = key
+        self._block.add_span(key, seqno, buf, start, end)
+        self._keys.append(key)
+        self._entry_count += 1
+        if kind_code == 0:
+            self._tombstones += 1
+        if seqno > self._max_seqno:
+            self._max_seqno = seqno
+        if self._clock_value_fn is not None:
+            clock = float(self._clock_value_fn(key))
+            if self._score_exponent == 3:
+                self._score += clock * clock * clock
+            else:
+                self._score += clock ** self._score_exponent
         if self._block.is_full():
             self._flush_block()
 

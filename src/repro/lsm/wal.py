@@ -32,16 +32,19 @@ class WriteAheadLog:
     def tier(self) -> StorageTier:
         return self._tier
 
-    def append(self, record: Record, ctx=None) -> float:
+    def append(self, record: Record, ctx=None, *, size: int | None = None) -> float:
         """Log one record; returns the simulated write latency.
 
         With ``sync_every`` > 1, writes are group-committed: only every
         N-th append pays the device's program latency (the others ride
         in the same batch and pay only the transfer cost). ``ctx``
         attributes the log write to ``(wal, tier)`` on the request's
-        latency breakdown.
+        latency breakdown. ``size`` lets callers that already computed
+        ``record.encoded_size()`` (the write fast lane) skip recomputing
+        it here.
         """
-        size = record.encoded_size()
+        if size is None:
+            size = record.encoded_size()
         self._segment.append(record)
         self.segment_bytes += size
         self.total_bytes += size
